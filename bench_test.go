@@ -1,0 +1,325 @@
+// Benchmarks regenerating the paper's tables and figures (one bench per
+// table/figure; the cmd/sxsibench harness prints the full paper-style
+// tables). Corpora are built once per process and shared.
+package sxsi
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/gen"
+	"repro/internal/pssm"
+	"repro/internal/wordindex"
+	"repro/internal/xpath"
+)
+
+const benchSize = 2 << 20 // per-corpus size for go test -bench
+
+var corpora struct {
+	once    sync.Once
+	xmark   []byte
+	medline []byte
+	tbank   []byte
+	bio     []byte
+
+	xmarkIdx   *core.Engine
+	medlineIdx *core.Engine
+	tbankIdx   *core.Engine
+	bioIdx     *core.Engine
+	xmarkDOM   *dom.Tree
+}
+
+func setup(b *testing.B) {
+	b.Helper()
+	corpora.once.Do(func() {
+		corpora.xmark = gen.XMark(1, benchSize)
+		corpora.medline = gen.Medline(101, benchSize)
+		corpora.tbank = gen.Treebank(4, benchSize)
+		corpora.bio = gen.BioXML(77, benchSize)
+		var err error
+		if corpora.xmarkIdx, err = core.Build(corpora.xmark, core.Config{}); err != nil {
+			panic(err)
+		}
+		if corpora.medlineIdx, err = core.Build(corpora.medline, core.Config{}); err != nil {
+			panic(err)
+		}
+		if corpora.tbankIdx, err = core.Build(corpora.tbank, core.Config{}); err != nil {
+			panic(err)
+		}
+		if corpora.bioIdx, err = core.Build(corpora.bio, core.Config{RunLength: true, SampleRate: 16}); err != nil {
+			panic(err)
+		}
+		if corpora.xmarkDOM, err = dom.Parse(corpora.xmark); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// BenchmarkFig8_IndexConstruction measures Build (Figure 8, construction).
+func BenchmarkFig8_IndexConstruction(b *testing.B) {
+	setup(b)
+	b.SetBytes(int64(len(corpora.xmark)))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(corpora.xmark, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8_IndexLoad measures Load vs Build (Figure 8, loading).
+func BenchmarkFig8_IndexLoad(b *testing.B) {
+	setup(b)
+	var buf bytes.Buffer
+	if _, err := corpora.xmarkIdx.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Load(bytes.NewReader(buf.Bytes()), core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_FMSearch covers the Table II/III FM-index operations at
+// both sampling rates.
+func BenchmarkTable2_FMSearch(b *testing.B) {
+	setup(b)
+	for _, rate := range []int{64, 4} {
+		eng, err := core.Build(corpora.medline, core.Config{SampleRate: rate})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fm := eng.Doc.FM
+		b.Run(map[int]string{64: "l64", 4: "l4"}[rate]+"/GlobalCount", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fm.GlobalCount([]byte("brain"))
+			}
+		})
+		b.Run(map[int]string{64: "l64", 4: "l4"}[rate]+"/Contains", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fm.Contains([]byte("brain"))
+			}
+		})
+	}
+	b.Run("naive-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for _, t := range corpora.medlineIdx.Doc.Plain {
+				if bytes.Contains(t, []byte("brain")) {
+					n++
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkTable4_Construction compares pointer vs succinct construction.
+func BenchmarkTable4_Construction(b *testing.B) {
+	setup(b)
+	b.Run("pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dom.Parse(corpora.xmark); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("succinct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(corpora.xmark, core.Config{SkipFM: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable5_Traversal compares full traversals (Table V).
+func BenchmarkTable5_Traversal(b *testing.B) {
+	setup(b)
+	b.Run("pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var walk func(*dom.Node) int
+			walk = func(x *dom.Node) int {
+				n := 1
+				for c := x.FirstChild; c != nil; c = c.NextSibling {
+					n += walk(c)
+				}
+				return n
+			}
+			walk(corpora.xmarkDOM.Root)
+		}
+	})
+	b.Run("succinct", func(b *testing.B) {
+		doc := corpora.xmarkIdx.Doc
+		for i := 0; i < b.N; i++ {
+			var walk func(int) int
+			walk = func(x int) int {
+				n := 1
+				for c := doc.FirstChild(x); c != -1; c = doc.NextSibling(c) {
+					n += walk(c)
+				}
+				return n
+			}
+			walk(doc.Root())
+		}
+	})
+}
+
+// BenchmarkTable6_TaggedTraversal measures the jump primitives (Table VI).
+func BenchmarkTable6_TaggedTraversal(b *testing.B) {
+	setup(b)
+	doc := corpora.xmarkIdx.Doc
+	id := doc.TagID("keyword")
+	b.Run("jump", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for p := doc.Tag.NextOccurrence(2*id, 0); p != -1; p = doc.Tag.NextOccurrence(2*id, p+1) {
+				n++
+			}
+		}
+	})
+	b.Run("automaton-count", func(b *testing.B) {
+		q, _ := corpora.xmarkIdx.Compile("//keyword")
+		for i := 0; i < b.N; i++ {
+			q.Count()
+		}
+	})
+	b.Run("automaton-mat", func(b *testing.B) {
+		q, _ := corpora.xmarkIdx.Compile("//keyword")
+		for i := 0; i < b.N; i++ {
+			q.Nodes()
+		}
+	})
+}
+
+// BenchmarkFig10_XMark runs the X01-X17 suite (Figure 10): SXSI counting and
+// serialization vs the DOM baseline.
+func BenchmarkFig10_XMark(b *testing.B) {
+	setup(b)
+	for _, q := range bench.XMarkQueries {
+		cq, err := corpora.xmarkIdx.Compile(q.Query)
+		if err != nil {
+			b.Fatal(q.ID, err)
+		}
+		b.Run(q.ID+"/count", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq.Count()
+			}
+		})
+		b.Run(q.ID+"/serialize", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cq.Serialize(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(q.ID+"/dom", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corpora.xmarkDOM.Eval(q.Query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11_Treebank runs T01-T05 (Figure 11).
+func BenchmarkFig11_Treebank(b *testing.B) {
+	setup(b)
+	for _, q := range bench.TreebankQueries {
+		cq, err := corpora.tbankIdx.Compile(q.Query)
+		if err != nil {
+			b.Fatal(q.ID, err)
+		}
+		b.Run(q.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq.Count()
+			}
+		})
+	}
+}
+
+// BenchmarkFig12_Ablation toggles the evaluator optimizations (Figure 12).
+func BenchmarkFig12_Ablation(b *testing.B) {
+	setup(b)
+	configs := []struct {
+		name string
+		opts automata.Options
+	}{
+		{"naive", automata.Options{NoJump: true, NoMemo: true, NoEarly: true, NoLazy: true}},
+		{"jump-only", automata.Options{NoMemo: true, NoEarly: true}},
+		{"memo-only", automata.Options{NoJump: true, NoLazy: true}},
+		{"all-opts", automata.Options{}},
+	}
+	for _, cfg := range configs {
+		eng := corpora.xmarkIdx.WithEval(cfg.opts)
+		q, err := eng.Compile("//listitem[not(.//keyword/emph)]//parlist") // X10
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q.Count()
+			}
+		})
+	}
+}
+
+// BenchmarkFig15_MedlineText runs the M-query suite (Figures 14/15).
+func BenchmarkFig15_MedlineText(b *testing.B) {
+	setup(b)
+	for _, q := range bench.MedlineQueries {
+		cq, err := corpora.medlineIdx.Compile(q.Query)
+		if err != nil {
+			b.Fatal(q.ID, err)
+		}
+		b.Run(q.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq.Count()
+			}
+		})
+	}
+}
+
+// BenchmarkTable7_WordIndex runs phrase queries through the word index.
+func BenchmarkTable7_WordIndex(b *testing.B) {
+	setup(b)
+	widx := wordindex.New(corpora.medlineIdx.Doc.Plain)
+	eng := corpora.medlineIdx.WithQueryOptions(xpath.Options{
+		CustomMatchSets: map[string]func(string) []int32{"wcontains": widx.ContainsPhrase},
+	})
+	q, err := eng.Compile(`//Article[.//AbstractText[wcontains(., "blood sample")]]`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("W01", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.Count()
+		}
+	})
+}
+
+// BenchmarkFig18_PSSM runs PSSM search over the run-length-indexed BioXML
+// document (Figure 18), fm-backtracking vs plain scan.
+func BenchmarkFig18_PSSM(b *testing.B) {
+	setup(b)
+	m := pssm.M1()
+	thr := m.MaxScore() * 0.85
+	b.Run("fm-backtrack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pssm.Search(corpora.bioIdx.Doc.FM, &m, thr)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pssm.ScanTexts(corpora.bioIdx.Doc.Plain, &m, thr)
+		}
+	})
+}

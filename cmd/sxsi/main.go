@@ -1,0 +1,108 @@
+// Command sxsi indexes XML documents and evaluates Core+ XPath queries.
+//
+//	sxsi index  -in doc.xml -out doc.sxsi        build and save an index
+//	sxsi count  -in doc.sxsi -q '//keyword'      counting query
+//	sxsi query  -in doc.sxsi -q '//keyword'      serialize results
+//	sxsi stats  -in doc.sxsi                     index statistics
+//
+// -in accepts either a raw XML file (indexed on the fly) or a saved index.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	in := fs.String("in", "", "input file (.xml or saved index)")
+	out := fs.String("out", "", "output index file (for 'index')")
+	q := fs.String("q", "", "XPath query")
+	sample := fs.Int("sample", 64, "FM-index sampling rate l")
+	rl := fs.Bool("rl", false, "use the run-length text index (repetitive data)")
+	fs.Parse(os.Args[2:])
+
+	if *in == "" {
+		fatal("missing -in")
+	}
+	cfg := core.Config{SampleRate: *sample, RunLength: *rl}
+	eng := open(*in, cfg)
+
+	switch cmd {
+	case "index":
+		if *out == "" {
+			fatal("missing -out")
+		}
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		n, err := eng.Save(f)
+		check(err)
+		fmt.Printf("wrote %d bytes to %s\n", n, *out)
+	case "count":
+		if *q == "" {
+			fatal("missing -q")
+		}
+		n, err := eng.Count(*q)
+		check(err)
+		fmt.Println(n)
+	case "query":
+		if *q == "" {
+			fatal("missing -q")
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		_, err := eng.Serialize(*q, w)
+		check(err)
+	case "stats":
+		st := eng.Stats()
+		fmt.Printf("nodes:        %d\n", st.Nodes)
+		fmt.Printf("texts:        %d\n", st.Texts)
+		fmt.Printf("distinct tags:%d\n", st.Tags)
+		fmt.Printf("tree bytes:   %d\n", st.TreeBytes)
+		fmt.Printf("fm bytes:     %d\n", st.TextBytes)
+		fmt.Printf("plain bytes:  %d\n", st.PlainBytes)
+	default:
+		usage()
+	}
+}
+
+// open loads a saved index or builds one from raw XML, sniffing the magic.
+func open(path string, cfg core.Config) *core.Engine {
+	data, err := os.ReadFile(path)
+	check(err)
+	if bytes.HasPrefix(data, []byte("SXSIGO")) {
+		eng, err := core.Load(bytes.NewReader(data), cfg)
+		check(err)
+		return eng
+	}
+	eng, err := core.Build(data, cfg)
+	check(err)
+	return eng
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sxsi {index|count|query|stats} -in FILE [-out FILE] [-q QUERY]")
+	os.Exit(2)
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "sxsi:", msg)
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sxsi:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Command sxsibench regenerates the paper's tables and figures (Section 6)
+// on synthetic corpora. Usage:
+//
+//	sxsibench -exp all -scale 1.0
+//	sxsibench -exp fig10,table2
+//
+// Experiments: fig8, table2, table3, table4, table5, table6, fig10, fig11,
+// fig12, fig13, fig15, table7, fig18, stream, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment list or 'all'")
+	scale := flag.Float64("scale", 1.0, "corpus size multiplier")
+	flag.Parse()
+
+	s := bench.Scale(*scale)
+	runners := []struct {
+		name string
+		run  func()
+	}{
+		{"fig8", func() { bench.Fig8(os.Stdout, s) }},
+		{"table2", func() { bench.Table23(os.Stdout, s, 64) }},
+		{"table3", func() { bench.Table23(os.Stdout, s, 4) }},
+		{"table4", func() { bench.Table4(os.Stdout, s) }},
+		{"table5", func() { bench.Table5(os.Stdout, s) }},
+		{"table6", func() { bench.Table6(os.Stdout, s) }},
+		{"fig10", func() { bench.Fig10(os.Stdout, s) }},
+		{"fig11", func() { bench.Fig11(os.Stdout, s) }},
+		{"fig12", func() { bench.Fig12(os.Stdout, s) }},
+		{"fig13", func() { bench.Fig13(os.Stdout, s) }},
+		{"fig15", func() { bench.Fig15(os.Stdout, s) }},
+		{"table7", func() { bench.Table7(os.Stdout, s) }},
+		{"fig18", func() { bench.Fig18(os.Stdout, s) }},
+		{"stream", func() { bench.Streaming(os.Stdout, s) }},
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	ran := 0
+	for _, r := range runners {
+		if want["all"] || want[r.name] {
+			r.run()
+			ran++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

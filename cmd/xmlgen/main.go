@@ -1,0 +1,49 @@
+// Command xmlgen writes the synthetic benchmark corpora (Section 6.1
+// substitutes) to disk.
+//
+//	xmlgen -kind xmark -size 100000000 -seed 1 -out xmark100m.xml
+//
+// Kinds: xmark, medline, treebank, wiki, bioxml.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	kind := flag.String("kind", "xmark", "corpus kind: xmark|medline|treebank|wiki|bioxml")
+	size := flag.Int("size", 10<<20, "approximate size in bytes")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var data []byte
+	switch *kind {
+	case "xmark":
+		data = gen.XMark(*seed, *size)
+	case "medline":
+		data = gen.Medline(*seed, *size)
+	case "treebank":
+		data = gen.Treebank(*seed, *size)
+	case "wiki":
+		data = gen.Wiki(*seed, *size)
+	case "bioxml":
+		data = gen.BioXML(*seed, *size)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(data), *out)
+}

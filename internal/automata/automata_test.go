@@ -1,0 +1,153 @@
+package automata
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// Tests here exercise the automata machinery directly, hand-building the
+// Figure 3 automaton for /descendant::listitem/descendant::keyword[child::emph].
+
+const listDoc = `<doc><listitem><keyword>a<emph>x</emph></keyword></listitem><listitem><keyword>plain</keyword></listitem><section><keyword><emph>y</emph></keyword></section></doc>`
+
+func buildFig3(t *testing.T, doc *xmltree.Doc) *Automaton {
+	t.Helper()
+	f := NewFactory()
+	a, err := NewAutomaton(4, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := doc.TagID("listitem")
+	kw := doc.TagID("keyword")
+	em := doc.TagID("emph")
+	// q0, {&} -> down1 q1
+	a.AddTransition(0, Finite(doc.RootTag()), f.Down1(1))
+	// q1: descendant::listitem (exclusive construction)
+	a.AddTransition(1, AllBut(li), f.And(f.Down1(1), f.Down2(1)))
+	a.AddTransition(1, Finite(li), f.And(f.Down1(2), f.Down2(1)))
+	// q2: descendant::keyword[child::emph], marking
+	a.AddTransition(2, AllBut(kw), f.And(f.Down1(2), f.Down2(2)))
+	a.AddTransition(2, Finite(kw), f.And(f.And(f.Mark, f.And(f.Down1(2), f.Down2(2))), f.Down1(3)))
+	a.AddTransition(2, Finite(kw), f.And(f.Not(f.Down1(3)), f.And(f.Down1(2), f.Down2(2))))
+	// q3: child::emph filter
+	a.AddTransition(3, AllLabels, f.Down2(3))
+	a.AddTransition(3, Finite(em), f.True)
+	a.SetBottom(1)
+	a.SetBottom(2)
+	a.Start = 0
+	a.Finish()
+	return a
+}
+
+func TestHandBuiltFig3(t *testing.T) {
+	doc, err := xmltree.Parse([]byte(listDoc), xmltree.Options{SkipFM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := buildFig3(t, doc)
+	for _, opts := range []Options{{}, {NoJump: true}, {NoMemo: true}, {NoEarly: true}} {
+		ev := NewEvaluator(a, doc, Count, opts)
+		n, _ := ev.Run()
+		if n != 1 {
+			t.Fatalf("opts %+v: count=%d want 1 (only the first keyword has an emph child under a listitem)", opts, n)
+		}
+		ev2 := NewEvaluator(a, doc, Materialize, opts)
+		_, nodes := ev2.Run()
+		if len(nodes) != 1 || doc.TagName(doc.TagOf(nodes[0])) != "keyword" {
+			t.Fatalf("opts %+v: nodes=%v", opts, nodes)
+		}
+	}
+}
+
+func TestFormulaHashConsing(t *testing.T) {
+	f := NewFactory()
+	a := f.And(f.Down1(1), f.Down2(2))
+	b := f.And(f.Down1(1), f.Down2(2))
+	if a != b {
+		t.Fatal("structurally equal formulas must share a pointer")
+	}
+	if f.And(f.True, a) != a {
+		t.Fatal("And(True, x) != x")
+	}
+	if f.And(f.False, a) != f.False {
+		t.Fatal("And(False, x) != False")
+	}
+	if f.Or(f.False, a) != a {
+		t.Fatal("Or(False, x) != x")
+	}
+	if f.Not(f.Not(a)) != a {
+		t.Fatal("double negation")
+	}
+	// Or with True must not absorb marked formulas.
+	m := f.And(f.Mark, a)
+	or := f.Or(f.True, m)
+	if or == f.True {
+		t.Fatal("Or(True, marked) must not collapse to True")
+	}
+	if f.Or(f.True, a) != f.True {
+		t.Fatal("Or(True, mark-free) should collapse")
+	}
+}
+
+func TestLabelSets(t *testing.T) {
+	s := Finite(1, 5)
+	if !s.Contains(1) || !s.Contains(5) || s.Contains(2) {
+		t.Fatal("finite set membership")
+	}
+	c := AllBut(3)
+	if c.Contains(3) || !c.Contains(99) {
+		t.Fatal("cofinite set membership")
+	}
+	if !AllLabels.Contains(0) {
+		t.Fatal("universal set")
+	}
+}
+
+func TestMaxStates(t *testing.T) {
+	if _, err := NewAutomaton(65, NewFactory()); err == nil {
+		t.Fatal("must reject > 64 states")
+	}
+}
+
+func TestCanMarkClosure(t *testing.T) {
+	doc, _ := xmltree.Parse([]byte(listDoc), xmltree.Options{SkipFM: true})
+	a := buildFig3(t, doc)
+	// q0,q1,q2 can reach a mark; q3 cannot.
+	if a.canMark>>0&1 != 1 || a.canMark>>1&1 != 1 || a.canMark>>2&1 != 1 {
+		t.Fatalf("canMark=%b", a.canMark)
+	}
+	if a.canMark>>3&1 != 0 {
+		t.Fatalf("filter state must not mark: %b", a.canMark)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	doc, _ := xmltree.Parse([]byte(listDoc), xmltree.Options{SkipFM: true})
+	a := buildFig3(t, doc)
+	ev := NewEvaluator(a, doc, Count, Options{})
+	ev.Run()
+	if ev.Stats.Visited <= 0 {
+		t.Fatal("visited not tracked")
+	}
+	if ev.Stats.Visited >= int64(doc.NumNodes()) {
+		t.Fatalf("jumping should visit < all nodes: %d >= %d", ev.Stats.Visited, doc.NumNodes())
+	}
+}
+
+func TestEmptyDocRun(t *testing.T) {
+	doc, _ := xmltree.Parse([]byte("<a/>"), xmltree.Options{SkipFM: true})
+	f := NewFactory()
+	a, _ := NewAutomaton(2, f)
+	a.AddTransition(0, Finite(doc.RootTag()), f.Down1(1))
+	nosuch := AllBut() // matches everything; but transition needs a real tag
+	_ = nosuch
+	a.AddTransition(1, AllLabels, f.And(f.Down1(1), f.Down2(1)))
+	a.SetBottom(1)
+	a.Finish()
+	ev := NewEvaluator(a, doc, Count, Options{})
+	n, _ := ev.Run()
+	if n != 0 {
+		t.Fatalf("count=%d", n)
+	}
+}

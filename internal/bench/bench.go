@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Timing protocol (Section 6.1): each measurement runs the operation once
+// to warm caches, then averages `repeats` timed runs.
+const repeats = 3
+
+// Measure returns the average duration of f after one warm-up run.
+func Measure(f func()) time.Duration {
+	f() // warm-up, discarded (the paper discards the first of eleven runs)
+	var total time.Duration
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		f()
+		total += time.Since(start)
+	}
+	return total / repeats
+}
+
+// MeasureOnce times a single execution (for expensive operations like index
+// construction).
+func MeasureOnce(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Table is a simple fixed-width table printer for the harness output.
+type Table struct {
+	w      io.Writer
+	widths []int
+	rows   [][]string
+	header []string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(w io.Writer, header ...string) *Table {
+	t := &Table{w: w, header: header, widths: make([]int, len(header))}
+	for i, h := range header {
+		t.widths[i] = len(h)
+	}
+	return t
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cols ...any) {
+	row := make([]string, len(cols))
+	for i, c := range cols {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = FormatDuration(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+		if i < len(t.widths) && len(row[i]) > t.widths[i] {
+			t.widths[i] = len(row[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Flush prints the table.
+func (t *Table) Flush() {
+	printRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				fmt.Fprint(t.w, "  ")
+			}
+			fmt.Fprintf(t.w, "%-*s", t.widths[i], c)
+		}
+		fmt.Fprintln(t.w)
+	}
+	printRow(t.header)
+	total := 0
+	for _, w := range t.widths {
+		total += w + 2
+	}
+	for i := 0; i < total; i++ {
+		fmt.Fprint(t.w, "-")
+	}
+	fmt.Fprintln(t.w)
+	for _, r := range t.rows {
+		printRow(r)
+	}
+	fmt.Fprintln(t.w)
+}
+
+// FormatDuration renders a duration the way the paper's tables do
+// (milliseconds, switching to seconds when large).
+func FormatDuration(d time.Duration) string {
+	ms := float64(d.Microseconds()) / 1000
+	if ms >= 10000 {
+		return fmt.Sprintf("%.1fs", ms/1000)
+	}
+	if ms < 0.1 {
+		return fmt.Sprintf("%.3fms", ms)
+	}
+	return fmt.Sprintf("%.1fms", ms)
+}
+
+// FormatBytes renders a byte count in MB.
+func FormatBytes(n int) string {
+	return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment runners assert internal consistency (SXSI vs DOM vs
+// streaming result counts) and panic on divergence, so running them at a
+// tiny scale doubles as an end-to-end integration test of the whole stack.
+
+func runQuiet(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("experiment diverged: %v", r)
+		}
+	}()
+	f()
+}
+
+func TestExperimentsConsistentAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	s := Scale(0.05)
+	runQuiet(t, func() { Table4(&buf, s) })
+	runQuiet(t, func() { Table5(&buf, s) })
+	runQuiet(t, func() { Table6(&buf, s) })
+	runQuiet(t, func() { Fig11(&buf, s) })
+	runQuiet(t, func() { Fig12(&buf, s) })
+	runQuiet(t, func() { Fig13(&buf, s) })
+	runQuiet(t, func() { Fig15(&buf, s) })
+	runQuiet(t, func() { Fig18(&buf, s) })
+	runQuiet(t, func() { Streaming(&buf, s) })
+	out := buf.String()
+	for _, want := range []string{"Table IV", "Table V", "Figure 12", "Figure 18"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing section %q", want)
+		}
+	}
+}
+
+func TestTablePrinter(t *testing.T) {
+	var buf bytes.Buffer
+	tb := NewTable(&buf, "a", "bb")
+	tb.Row(1, 250*time.Millisecond)
+	tb.Row("xyz", 3.5)
+	tb.Flush()
+	out := buf.String()
+	if !strings.Contains(out, "250.0ms") || !strings.Contains(out, "xyz") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FormatDuration(50*time.Microsecond) != "0.050ms" {
+		t.Fatal(FormatDuration(50 * time.Microsecond))
+	}
+	if FormatDuration(15*time.Second) != "15.0s" {
+		t.Fatal(FormatDuration(15 * time.Second))
+	}
+	if FormatBytes(1<<20) != "1.0MB" {
+		t.Fatal(FormatBytes(1 << 20))
+	}
+}
+
+func TestFirstLiteral(t *testing.T) {
+	if firstLiteral(`//a[wcontains(., "x y")]`) != "x y" {
+		t.Fatal("double quote")
+	}
+	if firstLiteral(`//a[f(., 'z')]`) != "z" {
+		t.Fatal("single quote")
+	}
+	if firstLiteral(`//a`) != "" {
+		t.Fatal("no literal")
+	}
+}
+
+func TestQuerySuitesWellFormed(t *testing.T) {
+	if len(XMarkQueries) != 17 || len(TreebankQueries) != 5 || len(MedlineQueries) != 11 || len(WordQueries) != 10 || len(PSSMQueries) != 9 {
+		t.Fatal("query suite sizes must match the paper")
+	}
+}

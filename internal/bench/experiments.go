@@ -1,0 +1,548 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/automata"
+	"repro/internal/bp"
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/fmindex"
+	"repro/internal/gen"
+	"repro/internal/pssm"
+	"repro/internal/stream"
+	"repro/internal/tags"
+	"repro/internal/wordindex"
+	"repro/internal/xmlparse"
+	"repro/internal/xpath"
+)
+
+// Scale multiplies the base corpus sizes; 1.0 is the quick laptop setting.
+type Scale float64
+
+func (s Scale) bytes(base int) int { return int(float64(base) * float64(s)) }
+
+// Fig8 reproduces Figure 8: index construction time and memory, loading
+// time, index size vs document size, over growing XMark documents.
+func Fig8(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Figure 8: indexing of XMark documents ==")
+	t := NewTable(w, "doc size", "construct", "load", "tree+fm size", "ratio", "nodes")
+	for _, base := range []int{1 << 20, 2 << 20, 3 << 20, 4 << 20, 5 << 20} {
+		data := gen.XMark(uint64(base), scale.bytes(base))
+		var eng *core.Engine
+		build := MeasureOnce(func() {
+			eng, _ = core.Build(data, core.Config{})
+		})
+		var buf bytes.Buffer
+		if _, err := eng.Save(&buf); err != nil {
+			panic(err)
+		}
+		var load time.Duration
+		load = MeasureOnce(func() {
+			if _, err := core.Load(bytes.NewReader(buf.Bytes()), core.Config{}); err != nil {
+				panic(err)
+			}
+		})
+		st := eng.Stats()
+		idxSize := st.TreeBytes + st.TextBytes
+		t.Row(FormatBytes(len(data)), build, load, FormatBytes(idxSize),
+			float64(idxSize)/float64(len(data)), st.Nodes)
+	}
+	t.Flush()
+}
+
+// Table23 reproduces Tables II and III: FM-index search times for patterns
+// of increasing frequency, at two sampling rates, against a naive scan.
+func Table23(w io.Writer, scale Scale, sampleRate int) {
+	fmt.Fprintf(w, "== Table %s: FM-index search times, sampling l=%d ==\n",
+		map[int]string{64: "II", 4: "III"}[sampleRate], sampleRate)
+	data := gen.Medline(101, scale.bytes(4<<20))
+	eng, err := core.Build(data, core.Config{SampleRate: sampleRate})
+	if err != nil {
+		panic(err)
+	}
+	fm := eng.Doc.FM
+	plain := eng.Doc.Plain
+
+	t := NewTable(w, "pattern", "global#", "global t", "contains#", "contains t", "report t", "naive t")
+	for _, p := range Table2Patterns {
+		pb := []byte(p)
+		var g int
+		gt := Measure(func() { g = fm.GlobalCount(pb) })
+		var ids []int
+		ct := Measure(func() { ids = fm.Contains(pb) })
+		var occs []fmindex.Occurrence
+		rt := Measure(func() { occs = fm.Locate(pb) })
+		_ = occs
+		var nn int
+		nt := Measure(func() {
+			nn = 0
+			for _, tx := range plain {
+				if bytes.Contains(tx, pb) {
+					nn++
+				}
+			}
+		})
+		if nn != len(ids) {
+			panic(fmt.Sprintf("fm/naive disagree for %q: %d vs %d", p, len(ids), nn))
+		}
+		t.Row(fmt.Sprintf("%q", p), g, gt, len(ids), ct, rt, nt)
+	}
+	t.Flush()
+}
+
+// Table4 reproduces Table IV: construction times of the pointer tree versus
+// the succinct components (parentheses, tags, tag-tables), plus parse time.
+func Table4(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Table IV: construction times, pointer vs SXSI tree store ==")
+	docs := []struct {
+		name string
+		data []byte
+	}{
+		{"XMark-1", gen.XMark(1, scale.bytes(2<<20))},
+		{"XMark-2", gen.XMark(2, scale.bytes(4<<20))},
+		{"XMark-3", gen.XMark(3, scale.bytes(6<<20))},
+		{"Treebank", gen.Treebank(4, scale.bytes(2<<20))},
+		{"Medline", gen.Medline(5, scale.bytes(3<<20))},
+	}
+	t := NewTable(w, "file", "parse", "pointers", "parentheses", "tags", "tag-tabs")
+	for _, d := range docs {
+		parse := MeasureOnce(func() { _ = xmlparse.Parse(d.data, nop{}) })
+		ptr := MeasureOnce(func() { _, _ = dom.Parse(d.data) })
+		eng, err := core.Build(d.data, core.Config{SkipFM: true})
+		if err != nil {
+			panic(err)
+		}
+		// Re-time the succinct components from the built model's raw data.
+		parens := make([]bool, eng.Doc.Par.Len())
+		ids := make([]int32, eng.Doc.Tag.Len())
+		for i := range parens {
+			parens[i] = eng.Doc.Par.IsOpen(i)
+			ids[i] = eng.Doc.Tag.Access(i)
+		}
+		pt := MeasureOnce(func() { bp.NewFromBools(parens) })
+		tt := MeasureOnce(func() { tags.Build(ids, 2*eng.Doc.NumTags()) })
+		tabt := MeasureOnce(func() { eng.Doc.RebuildTagTables() })
+		t.Row(d.name, parse, ptr, pt, tt, tabt)
+	}
+	t.Flush()
+}
+
+type nop struct{}
+
+func (nop) StartElement(string, []xmlparse.Attr) error { return nil }
+func (nop) EndElement(string) error                    { return nil }
+func (nop) Text([]byte) error                          { return nil }
+
+// Table5 reproduces Table V: full recursive traversal of all nodes, pointer
+// tree vs SXSI, and element-node recursion vs the //* automaton in counting
+// mode.
+func Table5(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Table V: traversal times ==")
+	docs := []struct {
+		name string
+		data []byte
+	}{
+		{"XMark-1", gen.XMark(1, scale.bytes(2<<20))},
+		{"XMark-2", gen.XMark(2, scale.bytes(4<<20))},
+		{"Treebank", gen.Treebank(4, scale.bytes(2<<20))},
+		{"Medline", gen.Medline(5, scale.bytes(3<<20))},
+	}
+	t := NewTable(w, "file", "#nodes", "pointer", "SXSI", "elem rec.", "//* (count)")
+	for _, d := range docs {
+		tree, _ := dom.Parse(d.data)
+		eng, _ := core.Build(d.data, core.Config{SkipFM: true})
+		n := 0
+		ptrT := Measure(func() {
+			n = 0
+			var walk func(*dom.Node)
+			walk = func(x *dom.Node) {
+				n++
+				for c := x.FirstChild; c != nil; c = c.NextSibling {
+					walk(c)
+				}
+			}
+			walk(tree.Root)
+		})
+		doc := eng.Doc
+		m := 0
+		sxsiT := Measure(func() {
+			m = 0
+			var walk func(int)
+			walk = func(x int) {
+				m++
+				for c := doc.FirstChild(x); c != -1; c = doc.NextSibling(c) {
+					walk(c)
+				}
+			}
+			walk(doc.Root())
+		})
+		if n != m {
+			panic("traversal count mismatch")
+		}
+		// Element-only recursion (skipping #/@/% nodes).
+		elems := 0
+		elemT := Measure(func() {
+			elems = 0
+			tt, at, vt, rt := doc.TextTag(), doc.AttrsTag(), doc.AttrValTag(), doc.RootTag()
+			var walk func(int)
+			walk = func(x int) {
+				tg := doc.TagOf(x)
+				if tg != tt && tg != at && tg != vt && tg != rt {
+					elems++
+				}
+				for c := doc.FirstChild(x); c != -1; c = doc.NextSibling(c) {
+					walk(c)
+				}
+			}
+			walk(doc.Root())
+		})
+		q, _ := eng.Compile("//*")
+		var cnt int64
+		starT := Measure(func() { cnt = q.Count() })
+		if cnt != int64(elems) {
+			panic(fmt.Sprintf("//* count %d != recursion %d", cnt, elems))
+		}
+		t.Row(d.name, n, ptrT, sxsiT, elemT, starT)
+	}
+	t.Flush()
+}
+
+// Table6 reproduces Table VI: tagged traversals over XMark — a direct
+// TaggedDesc/TaggedFoll jump loop, the //tag automaton in counting mode,
+// and in materialization mode.
+func Table6(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Table VI: tagged traversals over XMark ==")
+	data := gen.XMark(1, scale.bytes(4<<20))
+	eng, _ := core.Build(data, core.Config{SkipFM: true})
+	doc := eng.Doc
+	t := NewTable(w, "tag", "#nodes", "jump(Go)", "//tag (count)", "//tag (mat)")
+	for _, tag := range []string{"incategory", "price", "listitem", "keyword"} {
+		id := doc.TagID(tag)
+		if id < 0 {
+			continue
+		}
+		n := 0
+		jumpT := Measure(func() {
+			// Raw preorder iteration over all occurrences via the tag row
+			// (select), the Go analogue of the paper's C++ jump loop; note
+			// that TaggedFoll alone would skip occurrences nested below a
+			// recursive tag such as listitem (cf. Section 6.4).
+			n = 0
+			for p := doc.Tag.NextOccurrence(2*id, 0); p != -1; p = doc.Tag.NextOccurrence(2*id, p+1) {
+				n++
+			}
+		})
+		q, _ := eng.Compile("//" + tag)
+		var c int64
+		countT := Measure(func() { c = q.Count() })
+		var nodes []int
+		matT := Measure(func() { nodes = q.Nodes() })
+		if int(c) != n || len(nodes) != n {
+			panic(fmt.Sprintf("tag %s: jump=%d count=%d mat=%d", tag, n, c, len(nodes)))
+		}
+		t.Row(tag, n, jumpT, countT, matT)
+	}
+	t.Flush()
+}
+
+// Fig10 reproduces Figure 10: X01-X17 in counting, materialization and
+// materialization+serialization modes, SXSI vs the pointer-DOM baseline
+// (and the streaming baseline where it applies).
+func Fig10(w io.Writer, scale Scale) {
+	for _, size := range []int{scale.bytes(2 << 20), scale.bytes(8 << 20)} {
+		fmt.Fprintf(w, "== Figure 10: XMark queries, %s ==\n", FormatBytes(size))
+		data := gen.XMark(1, size)
+		eng, _ := core.Build(data, core.Config{})
+		tree, _ := dom.Parse(data)
+		t := NewTable(w, "query", "#res", "count", "mat", "mat+ser", "DOM", "DOM ser", "stream")
+		for _, q := range XMarkQueries {
+			cq, err := eng.Compile(q.Query)
+			if err != nil {
+				panic(q.ID + ": " + err.Error())
+			}
+			var n int64
+			countT := Measure(func() { n = cq.Count() })
+			var nodes []int
+			matT := Measure(func() { nodes = cq.Nodes() })
+			serT := Measure(func() { _, _ = cq.Serialize(io.Discard) })
+			var dn []*dom.Node
+			domT := Measure(func() { dn, _ = tree.Eval(q.Query) })
+			domSerT := Measure(func() {
+				var buf bytes.Buffer
+				for _, x := range dn {
+					x.Serialize(&buf)
+				}
+			})
+			if len(dn) != len(nodes) || n != int64(len(nodes)) {
+				panic(fmt.Sprintf("%s: sxsi=%d mat=%d dom=%d", q.ID, n, len(nodes), len(dn)))
+			}
+			streamCol := "-"
+			if sq, err := stream.Compile(q.Query); err == nil {
+				st := Measure(func() { _, _ = sq.Count(data) })
+				streamCol = FormatDuration(st)
+			}
+			t.Row(q.ID, n, countT, matT, serT, domT, domSerT, streamCol)
+		}
+		t.Flush()
+	}
+}
+
+// Fig11 reproduces Figure 11: Treebank queries T01-T05.
+func Fig11(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Figure 11: Treebank queries ==")
+	data := gen.Treebank(4, scale.bytes(3<<20))
+	eng, _ := core.Build(data, core.Config{})
+	tree, _ := dom.Parse(data)
+	t := NewTable(w, "query", "#res", "count", "mat", "mat+ser", "DOM")
+	for _, q := range TreebankQueries {
+		cq, err := eng.Compile(q.Query)
+		if err != nil {
+			panic(q.ID + ": " + err.Error())
+		}
+		var n int64
+		countT := Measure(func() { n = cq.Count() })
+		matT := Measure(func() { cq.Nodes() })
+		serT := Measure(func() { _, _ = cq.Serialize(io.Discard) })
+		var dn []*dom.Node
+		domT := Measure(func() { dn, _ = tree.Eval(q.Query) })
+		if int64(len(dn)) != n {
+			panic(fmt.Sprintf("%s: sxsi=%d dom=%d", q.ID, n, len(dn)))
+		}
+		t.Row(q.ID, n, countT, matT, serT, domT)
+	}
+	t.Flush()
+}
+
+// Fig12 reproduces Figure 12: the optimization ablation — naive execution,
+// jumping only, memoization only, and everything enabled — over X01-X17 in
+// counting mode.
+func Fig12(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Figure 12: impact of jumping and memoization ==")
+	data := gen.XMark(1, scale.bytes(2<<20))
+	eng, _ := core.Build(data, core.Config{})
+	configs := []struct {
+		name string
+		opts automata.Options
+	}{
+		{"naive", automata.Options{NoJump: true, NoMemo: true, NoEarly: true, NoLazy: true}},
+		{"jump-only", automata.Options{NoMemo: true, NoEarly: true}},
+		{"memo-only", automata.Options{NoJump: true, NoLazy: true}},
+		{"all-opts", automata.Options{}},
+	}
+	t := NewTable(w, "query", "naive", "jump-only", "memo-only", "all-opts", "#res")
+	for _, q := range XMarkQueries {
+		cols := make([]any, 0, 6)
+		cols = append(cols, q.ID)
+		var want int64 = -1
+		for _, cfg := range configs {
+			e2 := eng.WithEval(cfg.opts)
+			cq, err := e2.Compile(q.Query)
+			if err != nil {
+				panic(err)
+			}
+			var n int64
+			d := Measure(func() { n = cq.Count() })
+			if want == -1 {
+				want = n
+			} else if n != want {
+				panic(fmt.Sprintf("%s ablation disagrees: %d vs %d (%s)", q.ID, n, want, cfg.name))
+			}
+			cols = append(cols, d)
+		}
+		cols = append(cols, want)
+		t.Row(cols...)
+	}
+	t.Flush()
+}
+
+// Fig13 reproduces Figure 13: visited vs marked vs result node counts per
+// XMark query (the memory-use proxy: visited nodes drive evaluator memory).
+func Fig13(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Figure 13: visited / marked / result nodes ==")
+	data := gen.XMark(1, scale.bytes(2<<20))
+	eng, _ := core.Build(data, core.Config{})
+	t := NewTable(w, "query", "visited", "marked", "results", "doc elements")
+	elemCount, _ := eng.Count("//*")
+	for _, q := range XMarkQueries {
+		cq, err := eng.Compile(q.Query)
+		if err != nil {
+			panic(err)
+		}
+		nodes := cq.Nodes()
+		st := cq.Stats()
+		t.Row(q.ID, st.Visited, st.Marked, len(nodes), elemCount)
+	}
+	t.Flush()
+}
+
+// Fig15 reproduces Figures 14/15: Medline text queries with the planner's
+// strategy choice, versus the DOM baseline.
+func Fig15(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Figures 14/15: Medline text queries ==")
+	data := gen.Medline(101, scale.bytes(6<<20))
+	eng, _ := core.Build(data, core.Config{})
+	tree, _ := dom.Parse(data)
+	t := NewTable(w, "query", "strategy(paper)", "strategy", "#res", "count", "mat+ser", "DOM")
+	for _, q := range MedlineQueries {
+		cq, err := eng.Compile(q.Query)
+		if err != nil {
+			panic(q.ID + ": " + err.Error())
+		}
+		var n int64
+		countT := Measure(func() { n = cq.Count() })
+		serT := Measure(func() { _, _ = cq.Serialize(io.Discard) })
+		var dn []*dom.Node
+		domT := Measure(func() { dn, _ = tree.Eval(q.Query) })
+		if int64(len(dn)) != n {
+			panic(fmt.Sprintf("%s: sxsi=%d dom=%d", q.ID, n, len(dn)))
+		}
+		t.Row(q.ID, q.PaperStrategy, cq.Strategy(), n, countT, serT, domT)
+	}
+	t.Flush()
+}
+
+// Table7 reproduces Table VII: word-based phrase queries through the
+// pluggable word index, compared with the DOM baseline evaluating the same
+// phrase semantics naively.
+func Table7(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Table VII: word-based text queries ==")
+	med := gen.Medline(101, scale.bytes(4<<20))
+	wiki := gen.Wiki(202, scale.bytes(8<<20))
+	t := NewTable(w, "query", "#res", "SXSI(word)", "naive scan")
+	for _, q := range WordQueries {
+		data := wiki
+		if q.Medline {
+			data = med
+		}
+		eng, _ := core.Build(data, core.Config{})
+		widx := wordindex.New(eng.Doc.Plain)
+		opts := xpath.Options{CustomMatchSets: map[string]func(string) []int32{
+			"wcontains": widx.ContainsPhrase,
+		}}
+		e2 := eng.WithQueryOptions(opts)
+		cq, err := e2.Compile(q.Query)
+		if err != nil {
+			panic(q.ID + ": " + err.Error())
+		}
+		var n int64
+		wordT := Measure(func() { n = cq.Count() })
+		// Naive comparison: tokenize and scan every text per query (what an
+		// engine without a word index must do).
+		phrase := wordindex.Tokenize([]byte(firstLiteral(q.Query)))
+		naiveT := Measure(func() {
+			for _, tx := range eng.Doc.Plain {
+				words := wordindex.Tokenize(tx)
+				for i := 0; i+len(phrase) <= len(words); i++ {
+					ok := true
+					for k := range phrase {
+						if words[i+k] != phrase[k] {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						break
+					}
+				}
+			}
+		})
+		t.Row(q.ID, n, wordT, naiveT)
+	}
+	t.Flush()
+}
+
+// Fig18 reproduces Figure 18: PSSM queries over the BioXML document with the
+// run-length text index, reporting the text-search and automaton split.
+func Fig18(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Figure 18: PSSM queries over BioXML (run-length index) ==")
+	data := gen.BioXML(77, scale.bytes(6<<20))
+	eng, err := core.Build(data, core.Config{RunLength: true, SampleRate: 16})
+	if err != nil {
+		panic(err)
+	}
+	matrices := map[string]pssm.Matrix{"M1": pssm.M1(), "M2": pssm.M2(), "M3": pssm.M3()}
+	thresholds := map[string]float64{"M1": 0.85, "M2": 0.80, "M3": 0.78}
+	// The custom predicate runs the branch-and-bound search over the
+	// FM-index and returns the matching text ids; memoized per matrix.
+	cache := map[string][]int32{}
+	var lastTextTime time.Duration
+	match := func(lit string) []int32 {
+		if ids, ok := cache[lit]; ok {
+			return ids
+		}
+		m := matrices[lit]
+		thr := m.MaxScore() * thresholds[lit]
+		start := time.Now()
+		occs := pssm.Search(eng.Doc.FM, &m, thr)
+		lastTextTime = time.Since(start)
+		ids := pssm.DistinctTexts(occs)
+		cache[lit] = ids
+		return ids
+	}
+	e2 := eng.WithQueryOptions(xpath.Options{CustomMatchSets: map[string]func(string) []int32{"pssm": match}})
+	t := NewTable(w, "query", "#res", "text t", "total t", "strategy")
+	for _, q := range PSSMQueries {
+		cq, err := e2.Compile(q.Query)
+		if err != nil {
+			panic(q.ID + ": " + err.Error())
+		}
+		cache = map[string][]int32{}
+		var n int64
+		total := MeasureOnce(func() { n = cq.Count() })
+		t.Row(q.ID+" "+q.Query, n, lastTextTime, total, cq.Strategy())
+	}
+	t.Flush()
+}
+
+// Streaming reproduces the introduction's indexed-vs-streaming comparison:
+// SXSI counting vs one-pass streaming for simple paths.
+func Streaming(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "== Streaming baseline vs SXSI (introduction) ==")
+	data := gen.XMark(1, scale.bytes(4<<20))
+	eng, _ := core.Build(data, core.Config{SkipFM: true})
+	t := NewTable(w, "query", "#res", "SXSI count", "stream count", "speedup")
+	for _, q := range []string{"//keyword", "//listitem//keyword", "/site/regions/*/item", "//incategory/@category"} {
+		cq, err := eng.Compile(q)
+		if err != nil {
+			panic(err)
+		}
+		var n int64
+		sx := Measure(func() { n = cq.Count() })
+		sq, err := stream.Compile(q)
+		if err != nil {
+			panic(err)
+		}
+		var m int64
+		st := Measure(func() { m, _ = sq.Count(data) })
+		if n != m {
+			panic(fmt.Sprintf("%s: sxsi=%d stream=%d", q, n, m))
+		}
+		t.Row(q, n, sx, st, float64(st)/float64(sx))
+	}
+	t.Flush()
+}
+
+// firstLiteral extracts the first quoted literal of a query (for the naive
+// word-scan comparison of Table VII).
+func firstLiteral(q string) string {
+	i := -1
+	for k := 0; k < len(q); k++ {
+		if q[k] == '"' || q[k] == '\'' {
+			i = k
+			break
+		}
+	}
+	if i < 0 {
+		return ""
+	}
+	quote := q[i]
+	j := i + 1
+	for j < len(q) && q[j] != quote {
+		j++
+	}
+	return q[i+1 : j]
+}

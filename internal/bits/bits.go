@@ -1,0 +1,30 @@
+// Package bits provides broadword primitives used by the succinct data
+// structures: population counts and in-word select. These are the O(1)
+// building blocks the paper's rank/select structures (Section 2) assume.
+package bits
+
+import "math/bits"
+
+// Popcount returns the number of set bits in w.
+func Popcount(w uint64) int { return bits.OnesCount64(w) }
+
+// SelectInWord returns the position (0-based, from the least significant bit)
+// of the (j+1)-th set bit of w. j must be < Popcount(w); otherwise the result
+// is 64.
+func SelectInWord(w uint64, j int) int {
+	for i := 0; i < j; i++ {
+		w &= w - 1 // clear lowest set bit
+	}
+	if w == 0 {
+		return 64
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// Rank9WordMask returns a mask with the low n bits set (n in [0,64]).
+func Rank9WordMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}

@@ -1,0 +1,77 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectInWordBasic(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		j    int
+		want int
+	}{
+		{0b1, 0, 0},
+		{0b10, 0, 1},
+		{0b101, 1, 2},
+		{^uint64(0), 63, 63},
+		{^uint64(0), 0, 0},
+		{1 << 63, 0, 63},
+		{0, 0, 64},
+	}
+	for _, c := range cases {
+		if got := SelectInWord(c.w, c.j); got != c.want {
+			t.Errorf("SelectInWord(%b,%d)=%d want %d", c.w, c.j, got, c.want)
+		}
+	}
+}
+
+func TestSelectInWordProperty(t *testing.T) {
+	f := func(w uint64) bool {
+		pc := Popcount(w)
+		seen := 0
+		for b := 0; b < 64; b++ {
+			if w&(1<<uint(b)) != 0 {
+				if SelectInWord(w, seen) != b {
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == pc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRank9WordMask(t *testing.T) {
+	if Rank9WordMask(0) != 0 {
+		t.Error("mask(0) != 0")
+	}
+	if Rank9WordMask(64) != ^uint64(0) {
+		t.Error("mask(64) != all ones")
+	}
+	if Rank9WordMask(1) != 1 {
+		t.Error("mask(1) != 1")
+	}
+	for n := 0; n <= 64; n++ {
+		if got := Popcount(Rank9WordMask(n)); got != n {
+			t.Errorf("popcount(mask(%d)) = %d", n, got)
+		}
+	}
+}
+
+func BenchmarkSelectInWord(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ws := make([]uint64, 1024)
+	for i := range ws {
+		ws[i] = r.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := ws[i&1023]
+		SelectInWord(w, Popcount(w)/2)
+	}
+}

@@ -1,0 +1,182 @@
+// Package bitvec implements plain and sparse bit vectors with rank and
+// select support. The plain vector follows the classical two-level rank
+// directory (constant-time rank, logarithmic select); the sparse vector is an
+// Elias–Fano encoding equivalent to Okanohara and Sadakane's "sarray"
+// [ALENEX 2007], which the paper uses for the per-tag rows of the tag matrix
+// (Section 4.1.2) and for text-boundary bitmaps (Section 3.4).
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+
+	xbits "repro/internal/bits"
+)
+
+// Vector is a mutable-then-frozen plain bit vector. Bits are appended or set
+// during construction; Build freezes the vector and creates the rank
+// directory. Rank/Select must only be called after Build.
+type Vector struct {
+	words  []uint64
+	n      int      // number of valid bits
+	super  []uint64 // cumulative popcount before each superblock (per 8 words = 512 bits)
+	ones   int
+	frozen bool
+}
+
+const wordsPerSuper = 8
+
+// New returns a vector of n bits, all zero.
+func New(n int) *Vector {
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromBools builds a frozen vector from a boolean slice.
+func FromBools(b []bool) *Vector {
+	v := New(len(b))
+	for i, x := range b {
+		if x {
+			v.Set(i)
+		}
+	}
+	v.Build()
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Ones returns the total number of set bits (valid after Build).
+func (v *Vector) Ones() int { return v.ones }
+
+// Set sets bit i to 1. Must be called before Build.
+func (v *Vector) Set(i int) {
+	v.words[i>>6] |= 1 << uint(i&63)
+}
+
+// AppendBit grows the vector by one bit. Must be called before Build.
+func (v *Vector) AppendBit(b bool) {
+	if v.n>>6 >= len(v.words) {
+		v.words = append(v.words, 0)
+	}
+	if b {
+		v.words[v.n>>6] |= 1 << uint(v.n&63)
+	}
+	v.n++
+}
+
+// Get returns bit i.
+func (v *Vector) Get(i int) bool {
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Build freezes the vector and constructs the rank directory.
+func (v *Vector) Build() {
+	ns := (len(v.words) + wordsPerSuper - 1) / wordsPerSuper
+	v.super = make([]uint64, ns+1)
+	var c uint64
+	for i, w := range v.words {
+		if i%wordsPerSuper == 0 {
+			v.super[i/wordsPerSuper] = c
+		}
+		c += uint64(bits.OnesCount64(w))
+	}
+	v.super[ns] = c
+	v.ones = int(c)
+	v.frozen = true
+}
+
+// Rank1 returns the number of 1 bits in positions [0, i), i in [0, Len()].
+func (v *Vector) Rank1(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	w := i >> 6
+	c := v.super[w/wordsPerSuper]
+	for j := (w / wordsPerSuper) * wordsPerSuper; j < w; j++ {
+		c += uint64(bits.OnesCount64(v.words[j]))
+	}
+	if rem := i & 63; rem != 0 {
+		c += uint64(bits.OnesCount64(v.words[w] & xbits.Rank9WordMask(rem)))
+	}
+	return int(c)
+}
+
+// Rank0 returns the number of 0 bits in positions [0, i).
+func (v *Vector) Rank0(i int) int {
+	if i > v.n {
+		i = v.n
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i - v.Rank1(i)
+}
+
+// Select1 returns the position of the (j+1)-th set bit (0-based j), or -1 if
+// there are fewer than j+1 set bits.
+func (v *Vector) Select1(j int) int {
+	if j < 0 || j >= v.ones {
+		return -1
+	}
+	// Binary search superblocks.
+	lo, hi := 0, len(v.super)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(v.super[mid]) <= j {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	c := int(v.super[lo])
+	for w := lo * wordsPerSuper; w < len(v.words); w++ {
+		pc := bits.OnesCount64(v.words[w])
+		if c+pc > j {
+			return w*64 + xbits.SelectInWord(v.words[w], j-c)
+		}
+		c += pc
+	}
+	return -1
+}
+
+// Select0 returns the position of the (j+1)-th zero bit, or -1.
+func (v *Vector) Select0(j int) int {
+	if j < 0 || j >= v.n-v.ones {
+		return -1
+	}
+	lo, hi := 0, len(v.super)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		zerosBefore := mid*wordsPerSuper*64 - int(v.super[mid])
+		if zerosBefore <= j {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	c := lo*wordsPerSuper*64 - int(v.super[lo])
+	for w := lo * wordsPerSuper; w < len(v.words); w++ {
+		pc := 64 - bits.OnesCount64(v.words[w])
+		if c+pc > j {
+			return w*64 + xbits.SelectInWord(^v.words[w], j-c)
+		}
+		c += pc
+	}
+	return -1
+}
+
+// Words exposes the raw words (for serialization).
+func (v *Vector) Words() []uint64 { return v.words }
+
+// SizeInBytes reports the memory footprint of the structure.
+func (v *Vector) SizeInBytes() int {
+	return 8*len(v.words) + 8*len(v.super) + 24
+}
+
+func (v *Vector) String() string {
+	return fmt.Sprintf("bitvec[n=%d ones=%d]", v.n, v.ones)
+}

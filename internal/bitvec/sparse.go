@@ -1,0 +1,162 @@
+package bitvec
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Sparse is an Elias–Fano encoded bit vector: it stores m sorted positions
+// out of a universe [0, n) in m*ceil(log2(n/m)) + 2m + o(m) bits. This is the
+// "sarray" structure of Okanohara and Sadakane that the paper uses for each
+// row of the tag matrix R (Section 4.1.2). Select1 is O(1) amortized; Rank1
+// is O(log) via the upper-bits directory.
+type Sparse struct {
+	n        int // universe size
+	m        int // number of ones
+	lowBits  uint
+	low      []uint64 // packed low bits, lowBits each
+	high     *Vector  // unary-coded high parts: m ones among m + n>>lowBits zeros
+	maxValue int
+}
+
+// NewSparse builds a sparse vector over universe [0, n) from the sorted,
+// strictly increasing list of one-positions.
+func NewSparse(n int, positions []int) *Sparse {
+	m := len(positions)
+	s := &Sparse{n: n, m: m}
+	if m == 0 {
+		s.high = New(0)
+		s.high.Build()
+		return s
+	}
+	// lowBits = floor(log2(n/m)), at least 0.
+	lb := 0
+	if n/m > 1 {
+		lb = bits.Len(uint(n/m)) - 1
+	}
+	s.lowBits = uint(lb)
+	s.low = make([]uint64, (m*lb+63)/64)
+	highLen := (n >> s.lowBits) + m + 1
+	s.high = New(highLen)
+	for i, p := range positions {
+		if lb > 0 {
+			s.setLow(i, uint64(p)&((1<<s.lowBits)-1))
+		}
+		hp := (p >> s.lowBits) + i
+		s.high.Set(hp)
+	}
+	s.high.Build()
+	s.maxValue = positions[m-1]
+	return s
+}
+
+func (s *Sparse) setLow(i int, v uint64) {
+	bitPos := i * int(s.lowBits)
+	w, off := bitPos>>6, uint(bitPos&63)
+	s.low[w] |= v << off
+	if off+s.lowBits > 64 {
+		s.low[w+1] |= v >> (64 - off)
+	}
+}
+
+func (s *Sparse) getLow(i int) uint64 {
+	if s.lowBits == 0 {
+		return 0
+	}
+	bitPos := i * int(s.lowBits)
+	w, off := bitPos>>6, uint(bitPos&63)
+	v := s.low[w] >> off
+	if off+s.lowBits > 64 {
+		v |= s.low[w+1] << (64 - off)
+	}
+	return v & ((1 << s.lowBits) - 1)
+}
+
+// Len returns the universe size.
+func (s *Sparse) Len() int { return s.n }
+
+// Ones returns the number of set positions.
+func (s *Sparse) Ones() int { return s.m }
+
+// Select1 returns the position of the (j+1)-th one (0-based j), or -1.
+func (s *Sparse) Select1(j int) int {
+	if j < 0 || j >= s.m {
+		return -1
+	}
+	hp := s.high.Select1(j)
+	highPart := hp - j
+	return highPart<<s.lowBits | int(s.getLow(j))
+}
+
+// Rank1 returns the number of ones in [0, i).
+func (s *Sparse) Rank1(i int) int {
+	if i <= 0 || s.m == 0 {
+		return 0
+	}
+	if i > s.n {
+		i = s.n
+	}
+	// Number of ones with value < i. Find by binary search on Select1
+	// within the candidate range given by the high directory.
+	hi := (i - 1) >> s.lowBits // high part of i-1
+	// Ones with high part < hi are surely < i; ones with high part > hi are >= i.
+	// Candidates: ones with high part == hi.
+	// Position in s.high where high part hi's run of ones ends:
+	// zeros encode increments of the high part; after hi+1 zeros all ones
+	// have high part > hi.
+	zeroPos := s.high.Select0(hi)
+	var lowerCount int
+	if zeroPos < 0 {
+		lowerCount = s.m
+	} else {
+		lowerCount = s.high.Rank1(zeroPos) // ones with high part < hi... see below
+	}
+	// lowerCount counts ones with high part <= hi-1? Careful: the k-th zero
+	// (0-based k) appears after all ones with high part <= k... Actually in
+	// Elias-Fano high stream, ones for value v appear before the (v+1)-th
+	// zero and after the v-th zero. Ones before Select0(hi) have high part
+	// < hi... no: before the (hi+1)-th zero (0-based index hi) all ones have
+	// high part <= hi. We need ones with high part < hi first:
+	start := 0
+	if hi > 0 {
+		z := s.high.Select0(hi - 1)
+		if z >= 0 {
+			start = s.high.Rank1(z) // ones with high part < hi
+		} else {
+			start = s.m
+		}
+	}
+	end := lowerCount // ones with high part <= hi
+	if zeroPos < 0 {
+		end = s.m
+	}
+	// Binary search ones in [start, end) for value < i. A candidate has
+	// high part hi, so its value is < i iff its low part <= low(i-1),
+	// i.e. low < lowTarget with lowTarget = ((i-1) & mask) + 1.
+	mask := uint64(1)<<s.lowBits - 1
+	lowTarget := (uint64(i-1) & mask) + 1
+	cnt := sort.Search(end-start, func(k int) bool {
+		return s.getLow(start+k) >= lowTarget
+	})
+	return start + cnt
+}
+
+// Get returns whether position p is set.
+func (s *Sparse) Get(p int) bool {
+	return s.Rank1(p+1)-s.Rank1(p) == 1
+}
+
+// NextOne returns the smallest set position >= p, or -1 if none.
+func (s *Sparse) NextOne(p int) int {
+	r := s.Rank1(p)
+	return s.Select1(r)
+}
+
+// SizeInBytes reports the memory footprint of the structure.
+func (s *Sparse) SizeInBytes() int {
+	sz := 8*len(s.low) + 48
+	if s.high != nil {
+		sz += s.high.SizeInBytes()
+	}
+	return sz
+}

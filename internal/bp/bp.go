@@ -1,0 +1,420 @@
+// Package bp implements the balanced-parentheses representation of an
+// ordinal tree (paper Section 4.1.1) with the navigation set of Section 4.2:
+// FindClose/FindOpen/Enclose run on a range-min-max tree over the excess
+// sequence (Sadakane and Navarro, SODA 2010), giving O(log n) worst case and
+// near-constant time in practice for local queries; Preorder and friends use
+// the constant-time rank of the underlying bit vector.
+//
+// A tree node is identified by the position of its opening parenthesis, as
+// in the paper. Nil is represented by -1.
+package bp
+
+import (
+	"repro/internal/bitvec"
+)
+
+// Nil is the missing-node sentinel.
+const Nil = -1
+
+const blockBits = 512 // one rmM leaf covers this many parentheses
+
+// Parens is the frozen balanced-parentheses sequence with its rmM tree.
+type Parens struct {
+	bits *bitvec.Vector
+	n    int
+	// Excess at the start of each block (excess of all positions before it).
+	blockStart []int32
+	// Segment tree over blocks: per node, min and max absolute excess
+	// attained inside the node's range. 1-based heap layout.
+	segMin, segMax []int32
+	nBlocks        int
+	segLeaves      int // power of two >= nBlocks
+}
+
+// byte tables: walking a byte LSB-first, prefix excess min/max and total.
+var (
+	byteTotal [256]int8
+	byteMin   [256]int8 // min prefix excess (after >=1 steps)
+	byteMax   [256]int8
+)
+
+func init() {
+	for v := 0; v < 256; v++ {
+		e, mn, mx := 0, 127, -127
+		for b := 0; b < 8; b++ {
+			if v>>uint(b)&1 == 1 {
+				e++
+			} else {
+				e--
+			}
+			if e < mn {
+				mn = e
+			}
+			if e > mx {
+				mx = e
+			}
+		}
+		byteTotal[v] = int8(e)
+		byteMin[v] = int8(mn)
+		byteMax[v] = int8(mx)
+	}
+}
+
+// NewFromBools builds the structure from a parenthesis sequence
+// (true = '('). The sequence must be balanced.
+func NewFromBools(parens []bool) *Parens {
+	v := bitvec.New(len(parens))
+	for i, b := range parens {
+		if b {
+			v.Set(i)
+		}
+	}
+	v.Build()
+	return New(v)
+}
+
+// New builds the structure from a frozen bit vector (1 = open paren).
+func New(v *bitvec.Vector) *Parens {
+	p := &Parens{bits: v, n: v.Len()}
+	nb := (p.n + blockBits - 1) / blockBits
+	if nb == 0 {
+		nb = 1
+	}
+	p.nBlocks = nb
+	p.blockStart = make([]int32, nb+1)
+	leaves := 1
+	for leaves < nb {
+		leaves *= 2
+	}
+	p.segLeaves = leaves
+	p.segMin = make([]int32, 2*leaves)
+	p.segMax = make([]int32, 2*leaves)
+	for i := range p.segMin {
+		p.segMin[i] = int32(1) << 30
+		p.segMax[i] = -(int32(1) << 30)
+	}
+	e := int32(0)
+	for b := 0; b < nb; b++ {
+		p.blockStart[b] = e
+		mn, mx := int32(1)<<30, -(int32(1) << 30)
+		lo, hi := b*blockBits, (b+1)*blockBits
+		if hi > p.n {
+			hi = p.n
+		}
+		for i := lo; i < hi; i++ {
+			if v.Get(i) {
+				e++
+			} else {
+				e--
+			}
+			if e < mn {
+				mn = e
+			}
+			if e > mx {
+				mx = e
+			}
+		}
+		p.segMin[leaves+b] = mn
+		p.segMax[leaves+b] = mx
+	}
+	p.blockStart[nb] = e
+	for i := leaves - 1; i >= 1; i-- {
+		p.segMin[i] = min32(p.segMin[2*i], p.segMin[2*i+1])
+		p.segMax[i] = max32(p.segMax[2*i], p.segMax[2*i+1])
+	}
+	return p
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Len returns the number of parentheses (2x number of nodes).
+func (p *Parens) Len() int { return p.n }
+
+// IsOpen reports whether position i holds an opening parenthesis.
+func (p *Parens) IsOpen(i int) bool { return p.bits.Get(i) }
+
+// Excess returns the number of open minus closed parentheses in [0, i].
+func (p *Parens) Excess(i int) int {
+	if i < 0 {
+		return 0
+	}
+	return 2*p.bits.Rank1(i+1) - (i + 1)
+}
+
+// Rank1 counts opening parentheses in [0, i).
+func (p *Parens) Rank1(i int) int { return p.bits.Rank1(i) }
+
+// Select1 returns the position of the (j+1)-th opening parenthesis.
+func (p *Parens) Select1(j int) int { return p.bits.Select1(j) }
+
+// fwdSearch returns the smallest j > i with Excess(j) == target, or Nil.
+func (p *Parens) fwdSearch(i, target int) int {
+	e := p.Excess(i)
+	start := i + 1
+	b := start / blockBits
+	if b < p.nBlocks {
+		end := (b + 1) * blockBits
+		if end > p.n {
+			end = p.n
+		}
+		if j, ok := p.scanFwd(start, end, e, target); ok {
+			return j
+		}
+		// Find next block whose [min,max] range covers target.
+		nb := p.nextBlock(b+1, int32(target))
+		if nb < 0 {
+			return Nil
+		}
+		lo, hi := nb*blockBits, (nb+1)*blockBits
+		if hi > p.n {
+			hi = p.n
+		}
+		if j, ok := p.scanFwd(lo, hi, int(p.blockStart[nb]), target); ok {
+			return j
+		}
+	}
+	return Nil
+}
+
+// scanFwd scans positions [start, end) with running excess e (the excess
+// just before start) and returns the first position where excess hits
+// target. Uses byte tables to skip 8 positions at a time.
+func (p *Parens) scanFwd(start, end, e, target int) (int, bool) {
+	words := p.bits.Words()
+	i := start
+	for i < end {
+		// Align to byte boundary first.
+		if i%8 != 0 || end-i < 8 {
+			if p.bits.Get(i) {
+				e++
+			} else {
+				e--
+			}
+			if e == target {
+				return i, true
+			}
+			i++
+			continue
+		}
+		bv := byte(words[i>>6] >> uint(i&63))
+		d := target - e
+		if int(byteMin[bv]) <= d && d <= int(byteMax[bv]) {
+			// The target is hit inside this byte; scan its bits.
+			for b := 0; b < 8; b++ {
+				if bv>>uint(b)&1 == 1 {
+					e++
+				} else {
+					e--
+				}
+				if e == target {
+					return i + b, true
+				}
+			}
+		}
+		e += int(byteTotal[bv])
+		i += 8
+	}
+	return 0, false
+}
+
+// nextBlock returns the first block index >= b whose excess range covers
+// target, or -1.
+func (p *Parens) nextBlock(b int, target int32) int {
+	if b >= p.nBlocks {
+		return -1
+	}
+	// Walk up from the leaf, checking right siblings, then descend.
+	idx := p.segLeaves + b
+	for idx > 1 {
+		if idx%2 == 0 { // left child: check this subtree first if we haven't
+			if p.segMin[idx] <= target && target <= p.segMax[idx] {
+				break
+			}
+			idx++ // move to right sibling
+		} else {
+			if p.segMin[idx] <= target && target <= p.segMax[idx] {
+				break
+			}
+			// climb until we are a left child again
+			idx /= 2
+			for idx > 1 && idx%2 == 1 {
+				idx /= 2
+			}
+			if idx <= 1 {
+				return -1
+			}
+			idx++ // right sibling of the ancestor
+		}
+	}
+	if idx <= 1 {
+		return -1
+	}
+	// Descend to the leftmost covering leaf.
+	for idx < p.segLeaves {
+		if p.segMin[2*idx] <= target && target <= p.segMax[2*idx] {
+			idx = 2 * idx
+		} else {
+			idx = 2*idx + 1
+		}
+	}
+	blk := idx - p.segLeaves
+	if blk >= p.nBlocks {
+		return -1
+	}
+	return blk
+}
+
+// bwdSearch returns the largest j < i with Excess(j) == target, or -2 when
+// no such j exists even conceptually; j == -1 (Excess(-1) == 0) is a valid
+// answer when target is 0.
+func (p *Parens) bwdSearch(i, target int) int {
+	if i < 0 {
+		if target == 0 {
+			return -1
+		}
+		return -2
+	}
+	e := p.Excess(i)
+	// Walk j from i-1 down to -1; excess(j) = excess(j+1) - val(j+1).
+	j := i
+	b := j / blockBits
+	lo := b * blockBits
+	if r, ok := p.scanBwd(j, lo, e, target); ok {
+		return r
+	}
+	// blocks to the left
+	for blk := b - 1; blk >= 0; blk-- {
+		if p.segMin[p.segLeaves+blk] <= int32(target) && int32(target) <= p.segMax[p.segLeaves+blk] {
+			hi := (blk+1)*blockBits - 1
+			if r, ok := p.scanBwd(hi, blk*blockBits, int(p.Excess(hi)), target); ok {
+				return r
+			}
+		}
+	}
+	if target == 0 {
+		return -1
+	}
+	return -2
+}
+
+// scanBwd scans positions j = start-1 ... lo-1 where e is Excess(start) and
+// returns the largest j in [lo-1, start-1] with Excess(j) == target. The
+// position `start` itself is also checked.
+func (p *Parens) scanBwd(start, lo, e, target int) (int, bool) {
+	for j := start; j >= lo; j-- {
+		if e == target {
+			return j, true
+		}
+		if p.bits.Get(j) {
+			e--
+		} else {
+			e++
+		}
+	}
+	return 0, false
+}
+
+// FindClose returns the position of the closing parenthesis matching the
+// open parenthesis at i.
+func (p *Parens) FindClose(i int) int {
+	if i+1 < p.n && !p.bits.Get(i+1) {
+		return i + 1 // leaf fast path
+	}
+	return p.fwdSearch(i, p.Excess(i)-1)
+}
+
+// FindOpen returns the position of the opening parenthesis matching the
+// close parenthesis at j.
+func (p *Parens) FindOpen(j int) int {
+	if j > 0 && p.bits.Get(j-1) {
+		return j - 1 // leaf fast path
+	}
+	r := p.bwdSearch(j-1, p.Excess(j))
+	if r < -1 {
+		return Nil
+	}
+	return r + 1
+}
+
+// Enclose returns the opening parenthesis of the parent of the node whose
+// opening parenthesis is at i, or Nil for the root.
+func (p *Parens) Enclose(i int) int {
+	if i == 0 {
+		return Nil
+	}
+	r := p.bwdSearch(i-1, p.Excess(i)-2)
+	if r < -1 {
+		return Nil
+	}
+	return r + 1
+}
+
+// --- Tree operations (Section 4.2.1) ---
+
+// Root returns the root node (position 0), or Nil for an empty tree.
+func (p *Parens) Root() int {
+	if p.n == 0 {
+		return Nil
+	}
+	return 0
+}
+
+// Close is the paper's Close(x).
+func (p *Parens) Close(x int) int { return p.FindClose(x) }
+
+// Preorder returns the 0-based preorder number of node x.
+func (p *Parens) Preorder(x int) int { return p.bits.Rank1(x+1) - 1 }
+
+// NodeAtPreorder returns the node with 0-based preorder k.
+func (p *Parens) NodeAtPreorder(k int) int { return p.bits.Select1(k) }
+
+// NumNodes returns the number of tree nodes.
+func (p *Parens) NumNodes() int { return p.n / 2 }
+
+// SubtreeSize returns the number of nodes in the subtree rooted at x.
+func (p *Parens) SubtreeSize(x int) int { return (p.FindClose(x) - x + 1) / 2 }
+
+// IsAncestor reports whether x is an ancestor of y (inclusive).
+func (p *Parens) IsAncestor(x, y int) bool { return x <= y && y <= p.FindClose(x) }
+
+// IsLeaf reports whether x has no children.
+func (p *Parens) IsLeaf(x int) bool { return !p.bits.Get(x + 1) }
+
+// FirstChild returns x's first child or Nil.
+func (p *Parens) FirstChild(x int) int {
+	if p.bits.Get(x + 1) {
+		return x + 1
+	}
+	return Nil
+}
+
+// NextSibling returns x's next sibling or Nil.
+func (p *Parens) NextSibling(x int) int {
+	c := p.FindClose(x) + 1
+	if c < p.n && p.bits.Get(c) {
+		return c
+	}
+	return Nil
+}
+
+// Parent returns x's parent or Nil.
+func (p *Parens) Parent(x int) int { return p.Enclose(x) }
+
+// Depth returns the depth of node x (root has depth 1).
+func (p *Parens) Depth(x int) int { return p.Excess(x) }
+
+// SizeInBytes reports the memory footprint of the structure.
+func (p *Parens) SizeInBytes() int {
+	return p.bits.SizeInBytes() + 4*len(p.blockStart) + 4*len(p.segMin) + 4*len(p.segMax) + 48
+}

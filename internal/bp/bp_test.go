@@ -1,0 +1,250 @@
+package bp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refTree is a pointer-based oracle built from the same parenthesis string.
+type refTree struct {
+	parent     []int
+	firstChild []int
+	nextSib    []int
+	open       []int // open position of node k (preorder)
+	close      []int
+	depth      []int
+}
+
+func buildRef(parens []bool) *refTree {
+	r := &refTree{}
+	var stack []int
+	posToNode := map[int]int{}
+	for i, b := range parens {
+		if b {
+			node := len(r.parent)
+			posToNode[i] = node
+			r.parent = append(r.parent, Nil)
+			r.firstChild = append(r.firstChild, Nil)
+			r.nextSib = append(r.nextSib, Nil)
+			r.open = append(r.open, i)
+			r.close = append(r.close, Nil)
+			r.depth = append(r.depth, len(stack)+1)
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				r.parent[node] = p
+				if r.firstChild[p] == Nil {
+					r.firstChild[p] = node
+				} else {
+					c := r.firstChild[p]
+					for r.nextSib[c] != Nil {
+						c = r.nextSib[c]
+					}
+					r.nextSib[c] = node
+				}
+			}
+			stack = append(stack, node)
+		} else {
+			node := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			r.close[node] = i
+		}
+	}
+	return r
+}
+
+// randomTreeParens generates a random balanced parenthesis string with one
+// root enclosing everything.
+func randomTreeParens(r *rand.Rand, n int) []bool {
+	// generate by random walk guaranteeing balance, nested under a root
+	var out []bool
+	out = append(out, true)
+	depth := 1
+	remaining := 2 * n
+	for remaining > 0 {
+		canOpen := depth >= 1
+		mustClose := remaining <= depth
+		if !mustClose && canOpen && r.Intn(2) == 0 {
+			out = append(out, true)
+			depth++
+		} else if depth > 1 {
+			out = append(out, false)
+			depth--
+		} else {
+			out = append(out, true)
+			depth++
+		}
+		remaining--
+	}
+	for depth > 0 {
+		out = append(out, false)
+		depth--
+	}
+	return out
+}
+
+func checkTree(t *testing.T, parens []bool) {
+	t.Helper()
+	p := NewFromBools(parens)
+	ref := buildRef(parens)
+	nNodes := len(ref.parent)
+	if p.NumNodes() != nNodes {
+		t.Fatalf("numnodes=%d want %d", p.NumNodes(), nNodes)
+	}
+	for k := 0; k < nNodes; k++ {
+		x := ref.open[k]
+		if got := p.FindClose(x); got != ref.close[k] {
+			t.Fatalf("FindClose(%d)=%d want %d", x, got, ref.close[k])
+		}
+		if got := p.FindOpen(ref.close[k]); got != x {
+			t.Fatalf("FindOpen(%d)=%d want %d", ref.close[k], got, x)
+		}
+		wantParent := Nil
+		if ref.parent[k] != Nil {
+			wantParent = ref.open[ref.parent[k]]
+		}
+		if got := p.Parent(x); got != wantParent {
+			t.Fatalf("Parent(%d)=%d want %d", x, got, wantParent)
+		}
+		wantFC := Nil
+		if ref.firstChild[k] != Nil {
+			wantFC = ref.open[ref.firstChild[k]]
+		}
+		if got := p.FirstChild(x); got != wantFC {
+			t.Fatalf("FirstChild(%d)=%d want %d", x, got, wantFC)
+		}
+		wantNS := Nil
+		if ref.nextSib[k] != Nil {
+			wantNS = ref.open[ref.nextSib[k]]
+		}
+		if got := p.NextSibling(x); got != wantNS {
+			t.Fatalf("NextSibling(%d)=%d want %d", x, got, wantNS)
+		}
+		if got := p.Preorder(x); got != k {
+			t.Fatalf("Preorder(%d)=%d want %d", x, got, k)
+		}
+		if got := p.NodeAtPreorder(k); got != x {
+			t.Fatalf("NodeAtPreorder(%d)=%d want %d", k, got, x)
+		}
+		if got := p.Depth(x); got != ref.depth[k] {
+			t.Fatalf("Depth(%d)=%d want %d", x, got, ref.depth[k])
+		}
+		if p.IsLeaf(x) != (ref.firstChild[k] == Nil) {
+			t.Fatalf("IsLeaf(%d)", x)
+		}
+		wantSize := (ref.close[k] - x + 1) / 2
+		if got := p.SubtreeSize(x); got != wantSize {
+			t.Fatalf("SubtreeSize(%d)=%d want %d", x, got, wantSize)
+		}
+	}
+	// IsAncestor spot checks.
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200 && nNodes > 1; trial++ {
+		a, b := r.Intn(nNodes), r.Intn(nNodes)
+		xa, xb := ref.open[a], ref.open[b]
+		want := xa <= xb && ref.close[b] <= ref.close[a]
+		if got := p.IsAncestor(xa, xb); got != want {
+			t.Fatalf("IsAncestor(%d,%d)=%v want %v", xa, xb, got, want)
+		}
+	}
+}
+
+func TestTinyTrees(t *testing.T) {
+	checkTree(t, []bool{true, false})                                        // single node
+	checkTree(t, []bool{true, true, false, false})                           // chain of 2
+	checkTree(t, []bool{true, true, false, true, false, false})              // root with 2 children
+	checkTree(t, []bool{true, true, true, false, false, true, false, false}) // mixed
+}
+
+func TestPaperExampleTree(t *testing.T) {
+	// The tree of Figure 1: ( ( ( ( ( ( ) ) ) ( ) ( ( ) ) ( ( ) ) ) ( ( ( ( ) ) ) ( ( ) ) ) ) )
+	// 17 nodes: & P p @ n % # c # s # p @ n % s #
+	s := "(((((())))()(())(()))((((())))(())))"
+	parens := make([]bool, len(s))
+	for i := range s {
+		parens[i] = s[i] == '('
+	}
+	// sanity: balanced?
+	d := 0
+	for _, b := range parens {
+		if b {
+			d++
+		} else {
+			d--
+		}
+		if d < 0 {
+			t.Fatal("test string unbalanced")
+		}
+	}
+	if d != 0 {
+		t.Fatal("test string unbalanced at end")
+	}
+	checkTree(t, parens)
+}
+
+func TestDeepChain(t *testing.T) {
+	// A 3000-deep chain exercises cross-block searches.
+	n := 3000
+	parens := make([]bool, 2*n)
+	for i := 0; i < n; i++ {
+		parens[i] = true
+	}
+	checkTree(t, parens)
+}
+
+func TestWideStar(t *testing.T) {
+	// Root with 5000 leaf children.
+	var parens []bool
+	parens = append(parens, true)
+	for i := 0; i < 5000; i++ {
+		parens = append(parens, true, false)
+	}
+	parens = append(parens, false)
+	checkTree(t, parens)
+}
+
+func TestRandomTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + r.Intn(2000)
+		checkTree(t, randomTreeParens(r, n))
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	p := NewFromBools(nil)
+	if p.Root() != Nil {
+		t.Fatal("empty root")
+	}
+}
+
+func BenchmarkFindClose(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	parens := randomTreeParens(r, 1<<18)
+	p := NewFromBools(parens)
+	var opens []int
+	for i, x := range parens {
+		if x {
+			opens = append(opens, i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.FindClose(opens[i%len(opens)])
+	}
+}
+
+func BenchmarkParent(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	parens := randomTreeParens(r, 1<<18)
+	p := NewFromBools(parens)
+	var opens []int
+	for i, x := range parens {
+		if x {
+			opens = append(opens, i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Parent(opens[i%len(opens)])
+	}
+}

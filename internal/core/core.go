@@ -1,0 +1,164 @@
+// Package core assembles the paper's primary contribution — the SXSI
+// engine: the succinct document model (package xmltree: balanced
+// parentheses, tag sequence, leaf bitmap), the FM-index text collection
+// (package fmindex) and the tree-automata query evaluator with its planner
+// (packages automata, xpath), behind one engine type. The public root
+// package sxsi re-exports this API.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/automata"
+	"repro/internal/fmindex"
+	"repro/internal/rlfm"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Engine is an indexed XML document ready for Core+ XPath queries.
+type Engine struct {
+	Doc  *xmltree.Doc
+	opts Config
+}
+
+// Config controls indexing and evaluation.
+type Config struct {
+	// SampleRate is the FM-index locate sampling step l (default 64;
+	// Section 3.1, Tables II/III).
+	SampleRate int
+	// SkipFM disables the text self-index (tree-only workloads).
+	SkipFM bool
+	// SkipPlain drops the redundant plain-text store of Section 3.4; text
+	// extraction then walks the BWT.
+	SkipPlain bool
+	// RunLength uses the run-length FM sequence (package rlfm) instead of
+	// the wavelet tree — the RLCSA swap of Section 6.7 for repetitive
+	// collections.
+	RunLength bool
+	// Query carries the per-query evaluation options.
+	Query xpath.Options
+}
+
+func (c Config) treeOptions() xmltree.Options {
+	o := xmltree.Options{
+		SkipFM:     c.SkipFM,
+		SkipPlain:  c.SkipPlain,
+		SampleRate: c.SampleRate,
+	}
+	if c.RunLength {
+		o.Builder = func(bwt []byte) fmindex.RankSequence { return rlfm.New(bwt) }
+	}
+	return o
+}
+
+// Build parses and indexes an XML document held in memory.
+func Build(xml []byte, cfg Config) (*Engine, error) {
+	doc, err := xmltree.Parse(xml, cfg.treeOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{Doc: doc, opts: cfg}, nil
+}
+
+// BuildFile indexes an XML file.
+func BuildFile(path string, cfg Config) (*Engine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Build(data, cfg)
+}
+
+// Save writes the index to w; Load reads it back. Loading skips suffix
+// sorting and is much faster than Build (Figure 8).
+func (e *Engine) Save(w io.Writer) (int64, error) { return e.Doc.WriteTo(w) }
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader, cfg Config) (*Engine, error) {
+	doc, err := xmltree.ReadIndex(r, cfg.treeOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{Doc: doc, opts: cfg}, nil
+}
+
+// Compile compiles a Core+ XPath query against the document.
+func (e *Engine) Compile(query string) (*xpath.Query, error) {
+	return xpath.Compile(query, e.Doc, e.opts.Query)
+}
+
+// Count runs the query in counting mode.
+func (e *Engine) Count(query string) (int64, error) {
+	q, err := e.Compile(query)
+	if err != nil {
+		return 0, err
+	}
+	return q.Count(), nil
+}
+
+// Nodes materializes the result nodes (positions in the parentheses
+// sequence; use Doc methods or Serialize for content).
+func (e *Engine) Nodes(query string) ([]int, error) {
+	q, err := e.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Nodes(), nil
+}
+
+// Serialize evaluates the query and writes the XML serialization of each
+// result node to w, returning the number of results.
+func (e *Engine) Serialize(query string, w io.Writer) (int, error) {
+	q, err := e.Compile(query)
+	if err != nil {
+		return 0, err
+	}
+	return q.Serialize(w)
+}
+
+// Stats describes the in-memory footprint of the index components
+// (Figure 8's memory column).
+type Stats struct {
+	Nodes      int
+	Texts      int
+	Tags       int
+	TreeBytes  int
+	TextBytes  int // FM-index
+	PlainBytes int
+}
+
+// Stats reports index statistics.
+func (e *Engine) Stats() Stats {
+	tree, text, plain := e.Doc.SizeInBytes()
+	return Stats{
+		Nodes:      e.Doc.NumNodes(),
+		Texts:      e.Doc.NumTexts(),
+		Tags:       e.Doc.NumTags(),
+		TreeBytes:  tree,
+		TextBytes:  text,
+		PlainBytes: plain,
+	}
+}
+
+// EvalOptions returns a copy of the engine's config with the given
+// evaluator option overrides applied (used by the ablation benchmarks).
+func (e *Engine) WithEval(opts automata.Options) *Engine {
+	cfg := e.opts
+	cfg.Query.Eval = opts
+	return &Engine{Doc: e.Doc, opts: cfg}
+}
+
+// WithQueryOptions returns a copy of the engine using the given query
+// options (planner toggles, custom predicates).
+func (e *Engine) WithQueryOptions(opts xpath.Options) *Engine {
+	cfg := e.opts
+	cfg.Query = opts
+	return &Engine{Doc: e.Doc, opts: cfg}
+}
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("sxsi[nodes=%d texts=%d tags=%d]", e.Doc.NumNodes(), e.Doc.NumTexts(), e.Doc.NumTags())
+}

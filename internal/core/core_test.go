@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/xpath"
+)
+
+const doc = `<r><a k="v"><b>one</b></a><a><b>two</b><b>three</b></a></r>`
+
+func TestEngineBasics(t *testing.T) {
+	e, err := Build([]byte(doc), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Count("//b")
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	nodes, err := e.Nodes("//a[@k]/b")
+	if err != nil || len(nodes) != 1 {
+		t.Fatalf("nodes=%v err=%v", nodes, err)
+	}
+	var buf bytes.Buffer
+	k, err := e.Serialize("//b[. = 'two']", &buf)
+	if err != nil || k != 1 || strings.TrimSpace(buf.String()) != "<b>two</b>" {
+		t.Fatalf("k=%d out=%q err=%v", k, buf.String(), err)
+	}
+	if !strings.Contains(e.String(), "nodes=") {
+		t.Fatal("String()")
+	}
+}
+
+func TestWithEvalSharesIndex(t *testing.T) {
+	e, _ := Build([]byte(doc), Config{})
+	e2 := e.WithEval(automata.Options{NoJump: true})
+	if e2.Doc != e.Doc {
+		t.Fatal("WithEval must not rebuild the index")
+	}
+	a, _ := e.Count("//b")
+	b, _ := e2.Count("//b")
+	if a != b {
+		t.Fatalf("%d != %d", a, b)
+	}
+}
+
+func TestWithQueryOptionsCustomPredicate(t *testing.T) {
+	e, _ := Build([]byte(doc), Config{})
+	e2 := e.WithQueryOptions(xpath.Options{
+		CustomMatchSets: map[string]func(string) []int32{
+			// match the text id of "two" (the second # text; ids follow
+			// document order: v, one, two, three)
+			"only": func(string) []int32 { return []int32{2} },
+		},
+	})
+	n, err := e2.Count("//b[only(., 'x')]")
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	// Unknown custom function must be a compile error.
+	if _, err := e2.Count("//b[nosuch(., 'x')]"); err == nil {
+		t.Fatal("expected unknown-function error")
+	}
+}
+
+func TestBuildFileMissing(t *testing.T) {
+	if _, err := BuildFile("/nonexistent/file.xml", Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSkipFMDisablesTextIndex(t *testing.T) {
+	e, err := Build([]byte(doc), Config{SkipFM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Doc.FM != nil {
+		t.Fatal("FM should be nil")
+	}
+	// Text predicates still work via the naive path.
+	n, err := e.Count("//b[contains(., 'thr')]")
+	if err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,92 @@
+package fmindex
+
+import (
+	"errors"
+
+	"repro/internal/bitvec"
+)
+
+// Parts is the serializable decomposition of an index: everything needed to
+// rebuild the in-memory structure without re-running suffix sorting, which
+// is what makes loading a saved index much faster than construction
+// (the Figure 8 "index loading time" vs "construction time" gap).
+type Parts struct {
+	BWT        []byte // terminators collapsed to 0
+	Doc        []int32
+	Lens       []int32
+	SampleRate int
+	BSWords    []uint64 // sampled-row bitmap
+	BSLen      int
+	PS         []int32
+}
+
+// ErrBadParts reports an inconsistent Parts value.
+var ErrBadParts = errors.New("fmindex: inconsistent index parts")
+
+// Parts extracts the decomposition (the BWT is re-materialized from the
+// wavelet tree).
+func (x *Index) Parts() Parts {
+	bwt := make([]byte, x.n)
+	for i := range bwt {
+		bwt[i] = x.bwt.Access(i)
+	}
+	return Parts{
+		BWT:        bwt,
+		Doc:        x.doc,
+		Lens:       x.lens,
+		SampleRate: x.l,
+		BSWords:    x.bs.Words(),
+		BSLen:      x.bs.Len(),
+		PS:         x.ps,
+	}
+}
+
+// NewFromParts rebuilds an index from its decomposition.
+func NewFromParts(p Parts, builder SequenceBuilder) (*Index, error) {
+	if builder == nil {
+		builder = WaveletBuilder
+	}
+	d := len(p.Lens)
+	idx := &Index{d: d, n: len(p.BWT), l: p.SampleRate, doc: p.Doc, lens: p.Lens, ps: p.PS}
+	if p.BSLen != len(p.BWT) {
+		return nil, ErrBadParts
+	}
+	// Rebuild the sampled-row bitmap.
+	bs := bitvec.New(p.BSLen)
+	copy(bs.Words(), p.BSWords)
+	bs.Build()
+	idx.bs = bs
+	if bs.Ones() != len(p.PS) {
+		return nil, ErrBadParts
+	}
+	// Terminator count must match d.
+	nTerm := 0
+	for _, b := range p.BWT {
+		idx.c[int(b)+1]++
+		if b == 0 {
+			nTerm++
+		}
+	}
+	if nTerm != d || len(p.Doc) != d {
+		if !(d == 0 && nTerm == 0) {
+			return nil, ErrBadParts
+		}
+	}
+	for i := 1; i <= 256; i++ {
+		idx.c[i] += idx.c[i-1]
+	}
+	// Text start positions from the lengths.
+	starts := make([]int, d)
+	pos := 0
+	for i, l := range p.Lens {
+		starts[i] = pos
+		pos += int(l) + 1
+	}
+	if d == 0 {
+		idx.strt = bitvec.NewSparse(1, nil)
+	} else {
+		idx.strt = bitvec.NewSparse(idx.n+1, starts)
+	}
+	idx.bwt = builder(p.BWT)
+	return idx, nil
+}

@@ -1,0 +1,262 @@
+// Package gen produces deterministic synthetic XML workloads mirroring the
+// paper's benchmark data (Section 6.1): XMark auction documents [62],
+// Medline bibliographic records, Penn-Treebank-style deeply recursive parse
+// trees, wiktionary-style wiki pages, and the BioXML gene annotation format
+// of Figure 17. Real files are not redistributable at benchmark scale, so
+// each generator reproduces the tag vocabulary, nesting shape and text
+// style that drive SXSI's code paths (see DESIGN.md, substitutions).
+package gen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RNG is a deterministic splitmix64 generator, so generated corpora are
+// reproducible across runs and platforms (and its low-order output bits are
+// well mixed, unlike a bare LCG's).
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{s: seed*2862933555777941757 + 3037000493} }
+
+// Next returns the next raw 63-bit value.
+func (r *RNG) Next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return (z ^ (z >> 31)) >> 1
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Words is the shared vocabulary for natural-language-ish text.
+var Words = strings.Fields(`
+the of and a to in is was he for it with as his on be at by i this had
+not are but from or have an they which one you were her all she there
+would their we him been has when who will more no if out so said what
+up its about into than them can only other new some could time these
+two may then do first any my now such like our over man me even most
+made after also did many before must through back years where much your
+way well down should because each just those people mr how too little
+state good very make world still own see men work long get here between
+both life being under never day same another know while last might us
+great old year off come since against go came right used take three
+unique plus foot feet morphine ruminants molecule brain human blood
+australia epididymis discontinued keyword emph bold parlist listitem
+`)
+
+// Sentence appends n random words to sb.
+func Sentence(r *RNG, sb *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(Words[r.Intn(len(Words))])
+	}
+}
+
+func sentence(r *RNG, n int) string {
+	var sb strings.Builder
+	Sentence(r, &sb, n)
+	return sb.String()
+}
+
+// --- XMark ---
+
+// XMark generates an XMark-like auction document of approximately the given
+// size in bytes. The structure follows the XMark DTD closely enough for the
+// X01-X17 queries: site/regions/*/item, people/person with optional
+// sub-elements, open and closed auctions with annotations, and recursive
+// parlist/listitem/text/keyword/emph/bold description content.
+func XMark(seed uint64, targetBytes int) []byte {
+	r := NewRNG(seed)
+	var sb strings.Builder
+	sb.Grow(targetBytes + 4096)
+	sb.WriteString("<site>")
+
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	itemID := 0
+	personID := 0
+	auctionID := 0
+
+	// Keep emitting batches until the target size is reached.
+	for sb.Len() < targetBytes {
+		sb.WriteString("<regions>")
+		for _, reg := range regions {
+			sb.WriteString("<" + reg + ">")
+			nItems := 2 + r.Intn(4)
+			for i := 0; i < nItems; i++ {
+				writeItem(r, &sb, itemID)
+				itemID++
+			}
+			sb.WriteString("</" + reg + ">")
+		}
+		sb.WriteString("</regions>")
+
+		sb.WriteString("<people>")
+		nPeople := 6 + r.Intn(6)
+		for i := 0; i < nPeople; i++ {
+			writePerson(r, &sb, personID)
+			personID++
+		}
+		sb.WriteString("</people>")
+
+		sb.WriteString("<open_auctions>")
+		for i := 0; i < 3+r.Intn(3); i++ {
+			writeOpenAuction(r, &sb, auctionID)
+			auctionID++
+		}
+		sb.WriteString("</open_auctions>")
+
+		sb.WriteString("<closed_auctions>")
+		for i := 0; i < 3+r.Intn(3); i++ {
+			writeClosedAuction(r, &sb, auctionID)
+			auctionID++
+		}
+		sb.WriteString("</closed_auctions>")
+	}
+	sb.WriteString("</site>")
+	return []byte(sb.String())
+}
+
+func writeItem(r *RNG, sb *strings.Builder, id int) {
+	fmt.Fprintf(sb, `<item id="item%d">`, id)
+	sb.WriteString("<location>" + sentence(r, 2) + "</location>")
+	fmt.Fprintf(sb, "<quantity>%d</quantity>", 1+r.Intn(5))
+	sb.WriteString("<name>" + sentence(r, 3) + "</name>")
+	sb.WriteString("<payment>" + sentence(r, 2) + "</payment>")
+	sb.WriteString("<description>")
+	writeTextOrParlist(r, sb, 0)
+	sb.WriteString("</description>")
+	sb.WriteString("<shipping>" + sentence(r, 3) + "</shipping>")
+	fmt.Fprintf(sb, `<incategory category="category%d"/>`, r.Intn(100))
+	if r.Intn(2) == 0 {
+		sb.WriteString("<mailbox><mail><from>" + sentence(r, 2) + "</from><to>" +
+			sentence(r, 2) + "</to><date>" + date(r) + "</date><text>" +
+			sentence(r, 8) + "</text></mail></mailbox>")
+	}
+	sb.WriteString("</item>")
+}
+
+// writeTextOrParlist emits XMark description content: either a text block
+// with keyword/emph/bold islands, or a recursive parlist of listitems.
+func writeTextOrParlist(r *RNG, sb *strings.Builder, depth int) {
+	if depth < 3 && r.Intn(3) == 0 {
+		sb.WriteString("<parlist>")
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			sb.WriteString("<listitem>")
+			writeTextOrParlist(r, sb, depth+1)
+			sb.WriteString("</listitem>")
+		}
+		sb.WriteString("</parlist>")
+		return
+	}
+	sb.WriteString("<text>")
+	Sentence(r, asBuilder(sb), 4+r.Intn(8))
+	for i := 0; i < r.Intn(3); i++ {
+		switch r.Intn(3) {
+		case 0:
+			sb.WriteString("<keyword>" + sentence(r, 1+r.Intn(2)) + "</keyword>")
+		case 1:
+			sb.WriteString("<emph>" + sentence(r, 1+r.Intn(2)) + "</emph>")
+		default:
+			sb.WriteString("<bold>" + sentence(r, 1+r.Intn(2)) + "</bold>")
+		}
+		sb.WriteByte(' ')
+		Sentence(r, asBuilder(sb), 2+r.Intn(5))
+	}
+	sb.WriteString("</text>")
+}
+
+func asBuilder(sb *strings.Builder) *strings.Builder { return sb }
+
+func writePerson(r *RNG, sb *strings.Builder, id int) {
+	fmt.Fprintf(sb, `<person id="person%d">`, id)
+	sb.WriteString("<name>" + sentence(r, 2) + "</name>")
+	sb.WriteString("<emailaddress>mailto:" + Words[r.Intn(len(Words))] + "@example.org</emailaddress>")
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(sb, "<phone>+%d (%d) %d</phone>", 1+r.Intn(99), r.Intn(999), r.Intn(9999999))
+	}
+	if r.Intn(3) == 0 {
+		sb.WriteString("<address><street>" + sentence(r, 2) + "</street><city>" +
+			sentence(r, 1) + "</city><country>" + country(r) + "</country><zipcode>" +
+			fmt.Sprint(r.Intn(99999)) + "</zipcode></address>")
+	}
+	if r.Intn(2) == 0 {
+		sb.WriteString("<homepage>http://example.org/~" + Words[r.Intn(len(Words))] + "</homepage>")
+	}
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(sb, "<creditcard>%d %d %d %d</creditcard>", 1000+r.Intn(9000), 1000+r.Intn(9000), 1000+r.Intn(9000), 1000+r.Intn(9000))
+	}
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(sb, `<profile income="%d.%02d">`, 10000+r.Intn(90000), r.Intn(100))
+		for i := 0; i < r.Intn(3); i++ {
+			fmt.Fprintf(sb, `<interest category="category%d"/>`, r.Intn(100))
+		}
+		if r.Intn(2) == 0 {
+			sb.WriteString("<education>" + []string{"High School", "College", "Graduate School"}[r.Intn(3)] + "</education>")
+		}
+		if r.Intn(2) == 0 {
+			sb.WriteString("<gender>" + []string{"male", "female"}[r.Intn(2)] + "</gender>")
+		}
+		sb.WriteString("<business>" + []string{"Yes", "No"}[r.Intn(2)] + "</business>")
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(sb, "<age>%d</age>", 18+r.Intn(60))
+		}
+		sb.WriteString("</profile>")
+	}
+	if r.Intn(3) == 0 {
+		sb.WriteString("<watches>")
+		for i := 0; i < 1+r.Intn(3); i++ {
+			fmt.Fprintf(sb, `<watch open_auction="auction%d"/>`, r.Intn(1000))
+		}
+		sb.WriteString("</watches>")
+	}
+	sb.WriteString("</person>")
+}
+
+func writeOpenAuction(r *RNG, sb *strings.Builder, id int) {
+	fmt.Fprintf(sb, `<open_auction id="auction%d">`, id)
+	fmt.Fprintf(sb, "<initial>%d.%02d</initial>", 1+r.Intn(300), r.Intn(100))
+	for i := 0; i < r.Intn(4); i++ {
+		fmt.Fprintf(sb, `<bidder><date>%s</date><personref person="person%d"/><increase>%d.00</increase></bidder>`,
+			date(r), r.Intn(1000), 1+r.Intn(50))
+	}
+	fmt.Fprintf(sb, "<current>%d.%02d</current>", 10+r.Intn(1000), r.Intn(100))
+	fmt.Fprintf(sb, `<itemref item="item%d"/>`, r.Intn(1000))
+	fmt.Fprintf(sb, `<seller person="person%d"/>`, r.Intn(1000))
+	sb.WriteString("<annotation><author>" + sentence(r, 2) + "</author><description>")
+	writeTextOrParlist(r, sb, 1)
+	sb.WriteString("</description><happiness>" + fmt.Sprint(1+r.Intn(10)) + "</happiness></annotation>")
+	fmt.Fprintf(sb, "<quantity>%d</quantity>", 1+r.Intn(5))
+	sb.WriteString("<type>" + []string{"Regular", "Featured", "Dutch"}[r.Intn(3)] + "</type>")
+	fmt.Fprintf(sb, "<interval><start>%s</start><end>%s</end></interval>", date(r), date(r))
+	sb.WriteString("</open_auction>")
+}
+
+func writeClosedAuction(r *RNG, sb *strings.Builder, id int) {
+	sb.WriteString("<closed_auction>")
+	fmt.Fprintf(sb, `<seller person="person%d"/>`, r.Intn(1000))
+	fmt.Fprintf(sb, `<buyer person="person%d"/>`, r.Intn(1000))
+	fmt.Fprintf(sb, `<itemref item="item%d"/>`, r.Intn(1000))
+	fmt.Fprintf(sb, "<price>%d.%02d</price>", 10+r.Intn(500), r.Intn(100))
+	sb.WriteString("<date>" + date(r) + "</date>")
+	fmt.Fprintf(sb, "<quantity>%d</quantity>", 1+r.Intn(5))
+	sb.WriteString("<type>" + []string{"Regular", "Featured", "Dutch"}[r.Intn(3)] + "</type>")
+	sb.WriteString("<annotation><author>" + sentence(r, 2) + "</author><description>")
+	writeTextOrParlist(r, sb, 1)
+	sb.WriteString("</description><happiness>" + fmt.Sprint(1+r.Intn(10)) + "</happiness></annotation>")
+	sb.WriteString("</closed_auction>")
+}
+
+func date(r *RNG) string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+r.Intn(12), 1+r.Intn(28), 1998+r.Intn(4))
+}
+
+func country(r *RNG) string {
+	return []string{"United States", "AUSTRALIA", "Germany", "Finland", "Chile", "France"}[r.Intn(6)]
+}

@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// medlineTerms mixes medical-domain words (including the paper's Table II
+// query patterns at realistic relative frequencies) into abstracts.
+var medlineTerms = []struct {
+	word string
+	freq int // relative weight
+}{
+	{"Bakst", 1}, {"ruminants", 3}, {"morphine", 12}, {"AUSTRALIA", 14},
+	{"molecule", 35}, {"brain", 60}, {"human", 140}, {"blood", 200},
+	{"epididymis", 2}, {"plus", 6}, {"foot", 20}, {"feet", 15},
+	{"blood sample", 8}, {"bone marrow", 10}, {"immune cells", 6},
+	{"cell", 220}, {"protein", 90}, {"patients", 120}, {"treatment", 80},
+	{"clinical", 70}, {"analysis", 60}, {"receptor", 40},
+}
+
+var lastNames = []string{
+	"Barnes", "Barton", "Barbieri", "Nguyen", "Smith", "Johnson", "Lee",
+	"Garcia", "Miller", "Navarro", "Maneth", "Arroyuelo", "Virtanen",
+	"Korhonen", "Baranov", "Tanaka", "Kim", "Muller", "Rossi", "Silva",
+}
+
+var pubTypes = []string{
+	"Journal Article", "Review", "Letter", "Comparative Study",
+	"Case Reports", "Clinical Trial", "Editorial", "Historical Article",
+}
+
+// cannedPhrases seed the multi-word patterns of the W01-W05 queries.
+var cannedPhrases = []string{
+	"blood sample", "is such that", "various types of",
+	"immune cells", "of the bone marrow",
+}
+
+var countries = []string{
+	"United States", "AUSTRALIA", "England", "Germany", "Finland",
+	"Japan", "France", "Canada", "Chile", "Netherlands",
+}
+
+// Medline generates a Medline-like bibliographic document of approximately
+// targetBytes bytes, with the element vocabulary the M01-M11 and W01-W05
+// queries touch: MedlineCitation/Article/AbstractText, AuthorList/Author/
+// LastName, Country, PublicationType. MedlineCitation has mixed content
+// (M10's case) while AbstractText, LastName etc. are pure PCDATA.
+func Medline(seed uint64, targetBytes int) []byte {
+	r := NewRNG(seed)
+	var sb strings.Builder
+	sb.Grow(targetBytes + 4096)
+	sb.WriteString("<MedlineCitationSet>")
+	id := 0
+	for sb.Len() < targetBytes {
+		writeCitation(r, &sb, id)
+		id++
+	}
+	sb.WriteString("</MedlineCitationSet>")
+	return []byte(sb.String())
+}
+
+func writeCitation(r *RNG, sb *strings.Builder, id int) {
+	fmt.Fprintf(sb, `<MedlineCitation Owner="NLM" Status="MEDLINE">`)
+	fmt.Fprintf(sb, "<PMID>%08d</PMID>", id)
+	// Mixed content: a stray text node directly under MedlineCitation keeps
+	// its content impure (the M10 scenario).
+	sb.WriteString("\n")
+	sb.WriteString("<DateCreated><Year>" + fmt.Sprint(1995+r.Intn(15)) + "</Year><Month>" +
+		fmt.Sprintf("%02d", 1+r.Intn(12)) + "</Month><Day>" + fmt.Sprintf("%02d", 1+r.Intn(28)) + "</Day></DateCreated>")
+	sb.WriteString("<Article>")
+	sb.WriteString("<ArticleTitle>" + medSentence(r, 6+r.Intn(8)) + "</ArticleTitle>")
+	sb.WriteString("<Abstract><AbstractText>" + medSentence(r, 40+r.Intn(120)) + "</AbstractText></Abstract>")
+	sb.WriteString("<AuthorList>")
+	for i := 0; i < 1+r.Intn(5); i++ {
+		sb.WriteString("<Author><LastName>" + lastNames[r.Intn(len(lastNames))] +
+			"</LastName><Initials>" + string(rune('A'+r.Intn(26))) + "</Initials></Author>")
+	}
+	sb.WriteString("</AuthorList>")
+	sb.WriteString("</Article>")
+	sb.WriteString("<MedlineJournalInfo><Country>" + countries[r.Intn(len(countries))] + "</Country></MedlineJournalInfo>")
+	sb.WriteString("<PublicationTypeList>")
+	for i := 0; i < 1+r.Intn(2); i++ {
+		sb.WriteString("<PublicationType>" + pubTypes[r.Intn(len(pubTypes))] + "</PublicationType>")
+	}
+	sb.WriteString("</PublicationTypeList>")
+	sb.WriteString("</MedlineCitation>")
+}
+
+// medSentence builds abstract text mixing general vocabulary with weighted
+// medical terms so that pattern frequencies span several orders of
+// magnitude, as in Table II.
+func medSentence(r *RNG, n int) string {
+	var sb strings.Builder
+	totalW := 0
+	for _, t := range medlineTerms {
+		totalW += t.freq
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if r.Intn(120) == 0 {
+			sb.WriteString(cannedPhrases[r.Intn(len(cannedPhrases))])
+			continue
+		}
+		if r.Intn(6) == 0 {
+			// weighted medical term
+			x := r.Intn(totalW)
+			for _, t := range medlineTerms {
+				if x < t.freq {
+					sb.WriteString(t.word)
+					break
+				}
+				x -= t.freq
+			}
+		} else {
+			sb.WriteString(Words[r.Intn(len(Words))])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,128 @@
+package gen
+
+import "strings"
+
+// treebankTags are Penn Treebank phrase and part-of-speech labels, matching
+// the T01-T05 queries (S, NP, VP, PP, IN, VBN, JJ, CC, NN, VBZ, _QUOTE_).
+var treebankPhrase = []string{"S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP"}
+var treebankPOS = []string{"NN", "VBZ", "VBN", "IN", "JJ", "CC", "DT", "RB", "PRP", "_QUOTE_", "NNS", "VBD"}
+
+// Treebank generates a deeply recursive Treebank-like document of roughly
+// targetBytes bytes. Its distinguishing features per Section 6.5: many
+// distinct deep paths, high tag recursion (phrase labels nest inside
+// themselves), and short text content — the workload where all engines slow
+// down relative to XMark.
+func Treebank(seed uint64, targetBytes int) []byte {
+	r := NewRNG(seed)
+	var sb strings.Builder
+	sb.Grow(targetBytes + 4096)
+	sb.WriteString("<FILE>")
+	for sb.Len() < targetBytes {
+		sb.WriteString("<EMPTY>")
+		writePhrase(r, &sb, 0)
+		sb.WriteString("</EMPTY>")
+	}
+	sb.WriteString("</FILE>")
+	return []byte(sb.String())
+}
+
+// grammar biases child phrase labels to their likely parents, so paths
+// like S/VP/PP/NP that the T-queries probe actually occur.
+var grammar = map[string][]string{
+	"S":    {"NP", "VP", "NP", "VP", "SBAR", "PP"},
+	"NP":   {"NP", "PP", "ADJP", "SBAR"},
+	"VP":   {"PP", "NP", "VP", "ADVP"},
+	"PP":   {"NP", "NP", "NP", "ADJP"},
+	"SBAR": {"S", "S", "VP"},
+	"ADJP": {"PP", "ADVP"},
+	"ADVP": {"PP"},
+}
+
+// posFor biases part-of-speech leaves to their phrase label.
+var posFor = map[string][]string{
+	"NP": {"DT", "NN", "NNS", "JJ", "VBN", "NN", "PRP", "_QUOTE_"},
+	"VP": {"VBZ", "VBD", "VBN", "RB"},
+	"PP": {"IN", "IN", "IN", "RB"},
+}
+
+func writePhrase(r *RNG, sb *strings.Builder, depth int) {
+	writePhraseTag(r, sb, "S", depth)
+}
+
+func writePhraseTag(r *RNG, sb *strings.Builder, tag string, depth int) {
+	sb.WriteString("<" + tag + ">")
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		// Recursion probability decays with depth but allows chains up to
+		// ~25 deep, mimicking natural-language parse trees.
+		if depth < 25 && r.Intn(100) < 55-depth {
+			kids := grammar[tag]
+			if kids == nil {
+				kids = treebankPhrase
+			}
+			writePhraseTag(r, sb, kids[r.Intn(len(kids))], depth+1)
+		} else {
+			poss := posFor[tag]
+			if poss == nil || r.Intn(3) == 0 {
+				poss = treebankPOS
+			}
+			pos := poss[r.Intn(len(poss))]
+			sb.WriteString("<" + pos + ">" + Words[r.Intn(len(Words))] + "</" + pos + ">")
+		}
+	}
+	sb.WriteString("</" + tag + ">")
+}
+
+// Wiki generates a wiktionary-like page collection of roughly targetBytes
+// bytes: page/title/revision/text with long natural-language text bodies,
+// the workload of the word-based index experiments (W06-W10).
+func Wiki(seed uint64, targetBytes int) []byte {
+	r := NewRNG(seed)
+	var sb strings.Builder
+	sb.Grow(targetBytes + 4096)
+	sb.WriteString("<mediawiki>")
+	id := 0
+	phrases := []string{
+		"dark horse", "crude oil", "played on a board",
+		"whether accidentally or purposefully", "free dictionary",
+	}
+	for sb.Len() < targetBytes {
+		sb.WriteString("<page>")
+		sb.WriteString("<title>" + wikiTitle(r, phrases) + "</title>")
+		sb.WriteString("<id>" + itoa(id) + "</id>")
+		sb.WriteString("<revision><text>")
+		Sentence(r, &sb, 60+r.Intn(200))
+		if r.Intn(12) == 0 {
+			sb.WriteByte(' ')
+			sb.WriteString(phrases[r.Intn(len(phrases))])
+			sb.WriteByte(' ')
+			Sentence(r, &sb, 20)
+		}
+		sb.WriteString("</text></revision>")
+		sb.WriteString("</page>")
+		id++
+	}
+	sb.WriteString("</mediawiki>")
+	return []byte(sb.String())
+}
+
+func wikiTitle(r *RNG, phrases []string) string {
+	if r.Intn(40) == 0 {
+		return phrases[r.Intn(len(phrases))]
+	}
+	return Words[r.Intn(len(Words))] + " " + Words[r.Intn(len(Words))]
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

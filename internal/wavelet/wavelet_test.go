@@ -1,0 +1,156 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func naiveRank(s []byte, c byte, i int) int {
+	n := 0
+	for j := 0; j < i && j < len(s); j++ {
+		if s[j] == c {
+			n++
+		}
+	}
+	return n
+}
+
+func naiveSelect(s []byte, c byte, j int) int {
+	for i, x := range s {
+		if x == c {
+			if j == 0 {
+				return i
+			}
+			j--
+		}
+	}
+	return -1
+}
+
+func checkAll(t *testing.T, s []byte) {
+	t.Helper()
+	w := New(s)
+	if w.Len() != len(s) {
+		t.Fatalf("len=%d want %d", w.Len(), len(s))
+	}
+	present := map[byte]bool{}
+	for i, c := range s {
+		present[c] = true
+		if got := w.Access(i); got != c {
+			t.Fatalf("access(%d)=%d want %d", i, got, c)
+		}
+	}
+	for c := range present {
+		if w.Count(c) != naiveRank(s, c, len(s)) {
+			t.Fatalf("count(%d) wrong", c)
+		}
+		step := 1
+		if len(s) > 500 {
+			step = len(s) / 200
+		}
+		for i := 0; i <= len(s); i += step {
+			if got := w.Rank(c, i); got != naiveRank(s, c, i) {
+				t.Fatalf("rank(%d,%d)=%d want %d", c, i, got, naiveRank(s, c, i))
+			}
+		}
+		for j := 0; j < w.Count(c); j++ {
+			if got := w.Select(c, j); got != naiveSelect(s, c, j) {
+				t.Fatalf("select(%d,%d)=%d want %d", c, j, got, naiveSelect(s, c, j))
+			}
+		}
+		if w.Select(c, w.Count(c)) != -1 {
+			t.Fatal("select out of range must be -1")
+		}
+	}
+	// Absent symbol.
+	if w.Rank('\xfe', len(s)) != naiveRank(s, '\xfe', len(s)) {
+		t.Fatal("rank of absent symbol")
+	}
+}
+
+func TestWaveletSmall(t *testing.T) {
+	checkAll(t, []byte("abracadabra"))
+	checkAll(t, []byte("mississippi$"))
+	checkAll(t, []byte("discontinued$"))
+}
+
+func TestWaveletSingleSymbol(t *testing.T) {
+	checkAll(t, []byte("aaaaaaaa"))
+	checkAll(t, []byte("a"))
+}
+
+func TestWaveletEmpty(t *testing.T) {
+	w := New(nil)
+	if w.Len() != 0 {
+		t.Fatal("empty len")
+	}
+	if w.Rank('a', 0) != 0 || w.Select('a', 0) != -1 {
+		t.Fatal("empty ops")
+	}
+}
+
+func TestWaveletTwoSymbols(t *testing.T) {
+	checkAll(t, []byte("ababababbbaa"))
+}
+
+func TestWaveletRandomByte(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{10, 100, 1000, 5000} {
+		for _, sigma := range []int{2, 4, 26, 200} {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte(r.Intn(sigma))
+			}
+			checkAll(t, s)
+		}
+	}
+}
+
+func TestWaveletSkewedDistribution(t *testing.T) {
+	// Huffman shape should handle very skewed distributions: one dominant
+	// symbol plus rare ones.
+	r := rand.New(rand.NewSource(9))
+	s := make([]byte, 4000)
+	for i := range s {
+		if r.Intn(100) == 0 {
+			s[i] = byte(1 + r.Intn(30))
+		} else {
+			s[i] = 0
+		}
+	}
+	checkAll(t, s)
+}
+
+func TestWaveletFullAlphabet(t *testing.T) {
+	s := make([]byte, 512)
+	for i := range s {
+		s[i] = byte(i % 256)
+	}
+	checkAll(t, s)
+}
+
+func BenchmarkWaveletRank(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := make([]byte, 1<<20)
+	for i := range s {
+		s[i] = byte(r.Intn(64))
+	}
+	w := New(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Rank(byte(i&63), i&(1<<20-1))
+	}
+}
+
+func BenchmarkWaveletAccess(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := make([]byte, 1<<20)
+	for i := range s {
+		s[i] = byte(r.Intn(64))
+	}
+	w := New(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Access(i & (1<<20 - 1))
+	}
+}

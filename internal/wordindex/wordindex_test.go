@@ -1,0 +1,150 @@
+package wordindex
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"hello world", []string{"hello", "world"}},
+		{"  a,b;c!  ", []string{"a", "b", "c"}},
+		{"", nil},
+		{"...", nil},
+		{"blood-sample 123", []string{"blood", "sample", "123"}},
+	}
+	for _, c := range cases {
+		got := Tokenize([]byte(c.in))
+		if len(got) != len(c.want) {
+			t.Fatalf("Tokenize(%q)=%v want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Tokenize(%q)=%v want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func naivePhrase(texts []string, phrase string) []int32 {
+	pw := Tokenize([]byte(phrase))
+	var out []int32
+	for id, tx := range texts {
+		words := Tokenize([]byte(tx))
+		for i := 0; i+len(pw) <= len(words); i++ {
+			match := true
+			for k := range pw {
+				if words[i+k] != pw[k] {
+					match = false
+					break
+				}
+			}
+			if match {
+				out = append(out, int32(id))
+				break
+			}
+		}
+	}
+	return out
+}
+
+func toBytes(ss []string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestPhraseSearch(t *testing.T) {
+	texts := []string{
+		"the quick brown fox",
+		"the lazy dog sleeps",
+		"quick brown dogs bark",
+		"a dark horse appears",
+		"the dark quick brown horse",
+	}
+	ix := New(toBytes(texts))
+	for _, phrase := range []string{
+		"quick brown", "the", "dark horse", "dog", "horse", "brown fox",
+		"quick brown fox", "nothere", "fox the", "sleeps",
+	} {
+		got := ix.ContainsPhrase(phrase)
+		want := naivePhrase(texts, phrase)
+		if len(got) != len(want) {
+			t.Fatalf("ContainsPhrase(%q)=%v want %v", phrase, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("ContainsPhrase(%q)=%v want %v", phrase, got, want)
+			}
+		}
+	}
+}
+
+func TestCountOccurrences(t *testing.T) {
+	texts := []string{"a b a b a", "b a b"}
+	ix := New(toBytes(texts))
+	if got := ix.CountOccurrences("a b"); got != 3 {
+		t.Fatalf("count(a b)=%d", got)
+	}
+	if got := ix.CountOccurrences("b a"); got != 3 {
+		t.Fatalf("count(b a)=%d", got)
+	}
+	if got := ix.CountOccurrences("a b a"); got != 2 {
+		t.Fatalf("count(a b a)=%d", got)
+	}
+	// Phrases never cross text boundaries.
+	if got := ix.CountOccurrences("a b a b a b"); got != 0 {
+		t.Fatalf("cross-boundary count=%d", got)
+	}
+}
+
+func TestEmptyAndUnknown(t *testing.T) {
+	ix := New(nil)
+	if ix.ContainsPhrase("x") != nil {
+		t.Fatal("empty index")
+	}
+	ix2 := New(toBytes([]string{"hello"}))
+	if ix2.ContainsPhrase("unknownword") != nil {
+		t.Fatal("unknown word")
+	}
+	if ix2.ContainsPhrase("...") != nil {
+		t.Fatal("empty phrase")
+	}
+}
+
+func TestRandomizedAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	vocab := []string{"aa", "bb", "cc", "dd", "ee"}
+	for trial := 0; trial < 20; trial++ {
+		var texts []string
+		for i := 0; i < 10; i++ {
+			n := r.Intn(20)
+			var ws []string
+			for k := 0; k < n; k++ {
+				ws = append(ws, vocab[r.Intn(len(vocab))])
+			}
+			texts = append(texts, strings.Join(ws, " "))
+		}
+		ix := New(toBytes(texts))
+		for k := 0; k < 10; k++ {
+			plen := 1 + r.Intn(3)
+			var pw []string
+			for j := 0; j < plen; j++ {
+				pw = append(pw, vocab[r.Intn(len(vocab))])
+			}
+			phrase := strings.Join(pw, " ")
+			got := ix.ContainsPhrase(phrase)
+			want := naivePhrase(texts, phrase)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("phrase %q: got %v want %v (texts=%v)", phrase, got, want, texts)
+			}
+		}
+	}
+}

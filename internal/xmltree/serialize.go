@@ -1,0 +1,338 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/bp"
+	"repro/internal/fmindex"
+	"repro/internal/tags"
+)
+
+// Index persistence (Section 6.2, Figure 8): the on-disk format stores the
+// raw components (parenthesis bits, tag ids, texts, BWT and samples) so
+// that loading only rebuilds linear-time directory structures and skips
+// suffix sorting entirely. Loading is therefore much faster than indexing,
+// which is the behaviour Figure 8 reports.
+
+var indexMagic = [8]byte{'S', 'X', 'S', 'I', 'G', 'O', '0', '1'}
+
+// ErrBadIndexFile reports a corrupted or incompatible index file.
+var ErrBadIndexFile = errors.New("xmltree: bad index file")
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the index. It returns the number of bytes written.
+func (d *Doc) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return cw.n, err
+	}
+	// Names.
+	writeInt(bw, len(d.names))
+	for _, s := range d.names {
+		writeBytes(bw, []byte(s))
+	}
+	// Parenthesis bits.
+	writeInt(bw, d.Par.Len())
+	writeWords(bw, parWords(d.Par))
+	// Tag ids (re-materialized).
+	writeInt(bw, d.Tag.Len())
+	for i := 0; i < d.Tag.Len(); i++ {
+		writeInt32(bw, d.Tag.Access(i))
+	}
+	// Leaf positions.
+	writeInt(bw, d.nText)
+	for id := 0; id < d.nText; id++ {
+		writeInt(bw, d.leafB.Select1(id))
+	}
+	// Plain texts (always stored: they are the document's content).
+	for id := 0; id < d.nText; id++ {
+		writeBytes(bw, d.Text(id))
+	}
+	// FM parts.
+	if d.FM != nil {
+		writeInt(bw, 1)
+		p := d.FM.Parts()
+		writeBytes(bw, p.BWT)
+		writeInt32s(bw, p.Doc)
+		writeInt32s(bw, p.Lens)
+		writeInt(bw, p.SampleRate)
+		writeInt(bw, p.BSLen)
+		writeWords(bw, p.BSWords)
+		writeInt32s(bw, p.PS)
+	} else {
+		writeInt(bw, 0)
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+func parWords(p *bp.Parens) []uint64 {
+	// The Parens bit vector is reachable through Rank/Select; re-derive the
+	// raw words from bit queries to keep bp's internals private.
+	n := p.Len()
+	words := make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		if p.IsOpen(i) {
+			words[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return words
+}
+
+// ReadIndex deserializes an index written by WriteTo. The plain-text store
+// is kept unless opts.SkipPlain is set; opts.Builder overrides the FM rank
+// sequence as in Parse.
+func ReadIndex(rd io.Reader, opts Options) (*Doc, error) {
+	br := bufio.NewReader(rd)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != indexMagic {
+		return nil, ErrBadIndexFile
+	}
+	d := &Doc{nameID: map[string]int32{}}
+	nNames, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if nNames < 4 || nNames > 1<<26 {
+		return nil, ErrBadIndexFile
+	}
+	for i := 0; i < nNames; i++ {
+		b, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		d.names = append(d.names, string(b))
+		d.nameID[string(b)] = int32(i)
+	}
+	// Parens.
+	parLen, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	words, err := readWords(br, (parLen+63)/64)
+	if err != nil {
+		return nil, err
+	}
+	pv := bitvec.New(parLen)
+	copy(pv.Words(), words)
+	pv.Build()
+	d.Par = bp.New(pv)
+	// Tags.
+	tagLen, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if tagLen != parLen {
+		return nil, ErrBadIndexFile
+	}
+	ids := make([]int32, tagLen)
+	for i := range ids {
+		v, err := readInt32(br)
+		if err != nil {
+			return nil, err
+		}
+		if int(v) >= 2*nNames || v < 0 {
+			return nil, ErrBadIndexFile
+		}
+		ids[i] = v
+	}
+	d.Tag = tags.Build(ids, 2*nNames)
+	// Leaves.
+	nText, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	d.nText = nText
+	lb := bitvec.New(parLen)
+	for i := 0; i < nText; i++ {
+		p, err := readInt(br)
+		if err != nil {
+			return nil, err
+		}
+		if p < 0 || p >= parLen {
+			return nil, ErrBadIndexFile
+		}
+		lb.Set(p)
+	}
+	lb.Build()
+	d.leafB = lb
+	// Texts.
+	texts := make([][]byte, nText)
+	for i := range texts {
+		b, err := readBytes(br)
+		if err != nil {
+			return nil, err
+		}
+		texts[i] = b
+	}
+	if !opts.SkipPlain {
+		d.Plain = texts
+	}
+	// FM.
+	hasFM, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if hasFM == 1 {
+		var p fmindex.Parts
+		if p.BWT, err = readBytes(br); err != nil {
+			return nil, err
+		}
+		if p.Doc, err = readInt32s(br); err != nil {
+			return nil, err
+		}
+		if p.Lens, err = readInt32s(br); err != nil {
+			return nil, err
+		}
+		if p.SampleRate, err = readInt(br); err != nil {
+			return nil, err
+		}
+		if p.BSLen, err = readInt(br); err != nil {
+			return nil, err
+		}
+		if p.BSWords, err = readWords(br, (p.BSLen+63)/64); err != nil {
+			return nil, err
+		}
+		if p.PS, err = readInt32s(br); err != nil {
+			return nil, err
+		}
+		fm, err := fmindex.NewFromParts(p, opts.Builder)
+		if err != nil {
+			return nil, err
+		}
+		d.FM = fm
+	} else if !opts.SkipFM {
+		// The file has no FM-index but the caller wants one: rebuild it.
+		fm, err := fmindex.New(texts, fmindex.Options{SampleRate: opts.SampleRate, Builder: opts.Builder})
+		if err != nil {
+			return nil, err
+		}
+		d.FM = fm
+	}
+	d.buildTagTables()
+	return d, nil
+}
+
+// --- primitive encoding helpers ---
+
+func writeInt(w io.Writer, v int) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	w.Write(b[:])
+}
+
+func writeInt32(w io.Writer, v int32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	w.Write(b[:])
+}
+
+func writeBytes(w io.Writer, b []byte) {
+	writeInt(w, len(b))
+	w.Write(b)
+}
+
+func writeWords(w io.Writer, words []uint64) {
+	writeInt(w, len(words))
+	var b [8]byte
+	for _, x := range words {
+		binary.LittleEndian.PutUint64(b[:], x)
+		w.Write(b[:])
+	}
+}
+
+func writeInt32s(w io.Writer, xs []int32) {
+	writeInt(w, len(xs))
+	for _, x := range xs {
+		writeInt32(w, x)
+	}
+}
+
+func readInt(r io.Reader) (int, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	v := int64(binary.LittleEndian.Uint64(b[:]))
+	if v < 0 || v > 1<<40 {
+		return 0, ErrBadIndexFile
+	}
+	return int(v), nil
+}
+
+func readInt32(r io.Reader) (int32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return int32(binary.LittleEndian.Uint32(b[:])), nil
+}
+
+func readBytes(r io.Reader) ([]byte, error) {
+	n, err := readInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<32 {
+		return nil, ErrBadIndexFile
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func readInt32s(r io.Reader) ([]int32, error) {
+	n, err := readInt(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		if out[i], err = readInt32(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func readWords(r io.Reader, n int) ([]uint64, error) {
+	m, err := readInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if m != n {
+		return nil, fmt.Errorf("%w: word count %d != %d", ErrBadIndexFile, m, n)
+	}
+	out := make([]uint64, n)
+	var b [8]byte
+	for i := range out {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, err
+		}
+		out[i] = binary.LittleEndian.Uint64(b[:])
+	}
+	return out, nil
+}

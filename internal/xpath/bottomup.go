@@ -1,0 +1,260 @@
+package xpath
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// buPlan is a BottomUpRun plan (Section 5.4.2): for queries of the shape
+//
+//	/axis::step/.../axis::step[text-predicate]
+//
+// the text index produces the matching texts, each match is climbed up
+// through the predicate's downward path to the candidate result nodes, and
+// the candidates' paths to the root are verified against the main path.
+// Shared ancestors are verified once via memoization, which plays the role
+// of the shift-reduce stop-at-LCA rule of Figure 6.
+type buPlan struct {
+	doc       *xmltree.Doc
+	mainSteps []*Step // the k main steps; result nodes match the last one
+	downChain []dstep // from result node down to the value leaf
+	op        TextOp
+	fn        string
+	lit       string
+	leafTag   int32
+	opts      Options
+
+	estMatches int
+}
+
+// dstep is one downward hop of the predicate path.
+type dstep struct {
+	axis Axis
+	test NodeTest
+	leaf bool // the virtual hop onto the text/attribute-value leaf
+}
+
+// planBottomUp inspects the normalized query and builds a bottom-up plan if
+// the query has the supported shape and the text predicate can use the text
+// index; it returns nil otherwise (the caller then runs top-down).
+func planBottomUp(doc *xmltree.Doc, path *Path, opts Options) *buPlan {
+	if doc.FM == nil || opts.DisableBottomUp || opts.ForceNaiveText {
+		return nil
+	}
+	_ = path
+	k := len(path.Steps)
+	for i, st := range path.Steps {
+		if st.Axis != AxisChild && st.Axis != AxisDescendant {
+			return nil
+		}
+		if i < k-1 && len(st.Filters) > 0 {
+			return nil
+		}
+	}
+	last := path.Steps[k-1]
+	if len(last.Filters) != 1 {
+		return nil
+	}
+	te, ok := last.Filters[0].(*TextExpr)
+	if !ok {
+		return nil
+	}
+	plan := &buPlan{doc: doc, mainSteps: path.Steps, op: te.Op, fn: te.Func, lit: te.Literal, opts: opts}
+	c := &compiler{doc: doc, opts: opts}
+	var tgt predTarget
+	if te.Target == nil {
+		tgt = predTarget{test: last.Test, underAttr: last.underAttr}
+	} else {
+		for _, st := range te.Target.Steps {
+			if (st.Axis != AxisChild && st.Axis != AxisDescendant) || len(st.Filters) > 0 {
+				return nil
+			}
+			plan.downChain = append(plan.downChain, dstep{axis: st.Axis, test: st.Test})
+		}
+		tl := te.Target.Steps[len(te.Target.Steps)-1]
+		tgt = predTarget{test: tl.Test, underAttr: tl.underAttr}
+	}
+	leafTag, single := c.singleText(tgt)
+	if !single {
+		return nil
+	}
+	plan.leafTag = leafTag
+	// Unless the value target is itself a text() leaf, append the virtual
+	// hop from the pure-text element (or attribute node) onto its leaf.
+	if tgt.test.Kind != TestText {
+		plan.downChain = append(plan.downChain, dstep{axis: AxisChild, leaf: true})
+	}
+	// Selectivity rule (Section 5.4.2): run bottom-up only when the text
+	// predicate is more selective than the last step's tag.
+	if te.Op == OpCustom {
+		if _, ok := opts.CustomMatchSets[te.Func]; !ok {
+			return nil
+		}
+	}
+	plan.estMatches = estimateMatches(doc, opts, te.Op, te.Func, te.Literal)
+	threshold := doc.NumNodes()
+	if last.Test.Kind == TestName {
+		if id := doc.TagID(last.Test.Name); id >= 0 {
+			threshold = doc.TagCount(id)
+		} else {
+			threshold = 0
+		}
+	}
+	if plan.estMatches > threshold {
+		return nil
+	}
+	return plan
+}
+
+func estimateMatches(doc *xmltree.Doc, opts Options, op TextOp, fn, lit string) int {
+	p := []byte(lit)
+	switch op {
+	case OpContains:
+		return doc.FM.GlobalCount(p)
+	case OpStartsWith:
+		return doc.FM.StartsWithCount(p)
+	case OpEndsWith:
+		return doc.FM.EndsWithCount(p)
+	case OpEquals:
+		return doc.FM.EqualsCount(p)
+	case OpCustom:
+		return len(matchSet(doc, opts, op, fn, lit))
+	}
+	return doc.NumTexts()
+}
+
+// nodeStep keys the climbing/verification memo tables.
+type nodeStep struct{ node, j int }
+
+// run executes the plan and returns the sorted result node positions.
+func (p *buPlan) run() []int {
+	d := p.doc
+	set := matchSet(d, p.opts, p.op, p.fn, p.lit)
+	cands := map[int]struct{}{}
+	climbed := map[nodeStep]bool{}
+
+	var addCandidatesAbove func(node int, j int)
+	addCandidatesAbove = func(node, j int) {
+		key := nodeStep{node, j}
+		if climbed[key] {
+			return
+		}
+		climbed[key] = true
+		if j < 0 {
+			cands[node] = struct{}{}
+			return
+		}
+		step := p.downChain[j]
+		if step.axis == AxisChild {
+			pa := d.Parent(node)
+			if pa == xmltree.Nil {
+				return
+			}
+			if j == 0 {
+				cands[pa] = struct{}{}
+			} else if p.matchesChain(pa, j-1) {
+				addCandidatesAbove(pa, j-1)
+			}
+			return
+		}
+		// descendant hop: any proper ancestor can be the previous node
+		for a := d.Parent(node); a != xmltree.Nil; a = d.Parent(a) {
+			if j == 0 {
+				cands[a] = struct{}{}
+			} else if p.matchesChain(a, j-1) {
+				addCandidatesAbove(a, j-1)
+			}
+		}
+	}
+
+	for _, id := range set {
+		leaf := d.TextIDToNode(int(id))
+		if d.TagOf(leaf) != p.leafTag {
+			continue
+		}
+		if len(p.downChain) == 0 {
+			// The result nodes are the text leaves themselves.
+			cands[leaf] = struct{}{}
+			continue
+		}
+		// The leaf must match the last chain hop.
+		if !p.matchesChain(leaf, len(p.downChain)-1) {
+			continue
+		}
+		addCandidatesAbove(leaf, len(p.downChain)-1)
+	}
+
+	// Verify candidates: last-step test plus the upward main path
+	// (MatchAbove of Figure 6, memoized).
+	last := p.mainSteps[len(p.mainSteps)-1]
+	memo := map[nodeStep]bool{}
+	var out []int
+	for x := range cands {
+		if !matchesTest(d, x, last.Test) {
+			continue
+		}
+		if p.matchUp(x, len(p.mainSteps)-1, memo) {
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (p *buPlan) matchesChain(node, j int) bool {
+	step := p.downChain[j]
+	if step.leaf {
+		return p.doc.TagOf(node) == p.leafTag
+	}
+	return matchesTest(p.doc, node, step.test)
+}
+
+// matchUp verifies that mainSteps[0..i-1] can be matched on the ancestor
+// path of node (which matches step i), reaching the synthetic root.
+func (p *buPlan) matchUp(node, i int, memo map[nodeStep]bool) bool {
+	d := p.doc
+	if i == 0 {
+		if p.mainSteps[0].Axis == AxisChild {
+			return d.Parent(node) == d.Root()
+		}
+		return node != d.Root()
+	}
+	key := nodeStep{node, i}
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	res := false
+	if p.mainSteps[i].Axis == AxisChild {
+		pa := d.Parent(node)
+		if pa != xmltree.Nil && matchesTest(d, pa, p.mainSteps[i-1].Test) {
+			res = p.matchUp(pa, i-1, memo)
+		}
+	} else {
+		for a := d.Parent(node); a != xmltree.Nil; a = d.Parent(a) {
+			if matchesTest(d, a, p.mainSteps[i-1].Test) && p.matchUp(a, i-1, memo) {
+				res = true
+				break
+			}
+		}
+	}
+	memo[key] = res
+	return res
+}
+
+// matchesTest checks a node test directly on a document node.
+func matchesTest(d *xmltree.Doc, x int, t NodeTest) bool {
+	tag := d.TagOf(x)
+	switch t.Kind {
+	case TestName:
+		id := d.TagID(t.Name)
+		return id >= 0 && tag == id
+	case TestStar:
+		return tag != d.TextTag() && tag != d.AttrsTag() && tag != d.AttrValTag() && tag != d.RootTag()
+	case TestText:
+		return tag == d.TextTag()
+	case TestNode:
+		return tag != d.AttrsTag() && tag != d.AttrValTag() && tag != d.RootTag()
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package xpath
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/automata"
+	"repro/internal/xmltree"
+)
+
+// predTarget describes the node type a text predicate applies to, which
+// decides whether the FM-index can be used (Section 6.6 step 2: the
+// predicate must apply to a single text node).
+type predTarget struct {
+	test      NodeTest
+	underAttr bool
+}
+
+// singleText reports whether the target's string value is always a single
+// text of the collection, and the leaf label that holds it.
+func (c *compiler) singleText(t predTarget) (int32, bool) {
+	d := c.doc
+	if t.underAttr {
+		return d.AttrValTag(), true
+	}
+	switch t.test.Kind {
+	case TestText:
+		return d.TextTag(), true
+	case TestName:
+		id := d.TagID(t.test.Name)
+		if id >= 0 && d.PureText(id) {
+			return d.TextTag(), true
+		}
+	}
+	return 0, false
+}
+
+// makePred builds the predicate function for op(value, literal). When the
+// FM-index is available and the target is a single text node, the matching
+// text identifiers are computed once (choosing FM-index search or plain
+// scan by global count, Section 3.4) and the predicate becomes a range
+// check against the node's text identifier interval. Otherwise the naive
+// string-value semantics is used (Section 6.6).
+func (c *compiler) makePred(op TextOp, fn, lit string, tgt predTarget) automata.PredFunc {
+	d := c.doc
+	leafTag, single := c.singleText(tgt)
+	if op == OpCustom || (d.FM != nil && single && !c.opts.ForceNaiveText) {
+		// Custom predicates (e.g. PSSM) are always set-based; when the
+		// target is not a single text node the predicate holds if any text
+		// leaf in the node's range matches (the //*[pssm(...)] case of
+		// Figure 18).
+		anyLeaf := !single
+		var set []int32
+		computed := false
+		opts := c.opts
+		return func(node int) bool {
+			if !computed {
+				set = matchSet(d, opts, op, fn, lit)
+				computed = true
+			}
+			lo, hi := d.TextIDs(node)
+			i := sort.Search(len(set), func(k int) bool { return int(set[k]) >= lo })
+			for ; i < len(set) && int(set[i]) < hi; i++ {
+				if anyLeaf || d.TagOf(d.TextIDToNode(int(set[i]))) == leafTag {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	pb := []byte(lit)
+	return func(node int) bool {
+		return evalTextOp(op, nodeValue(d, node), pb)
+	}
+}
+
+func evalTextOp(op TextOp, val, lit []byte) bool {
+	switch op {
+	case OpContains:
+		return bytes.Contains(val, lit)
+	case OpStartsWith:
+		return bytes.HasPrefix(val, lit)
+	case OpEndsWith:
+		return bytes.HasSuffix(val, lit)
+	case OpEquals:
+		return bytes.Equal(val, lit)
+	}
+	return false
+}
+
+// nodeValue computes the XPath string value of a node: its own text for
+// text/attribute-value leaves, the attribute value for attribute nodes, and
+// the concatenation of descendant texts otherwise.
+func nodeValue(d *xmltree.Doc, x int) []byte {
+	tag := d.TagOf(x)
+	if tag == d.TextTag() || tag == d.AttrValTag() {
+		if id := d.NodeToTextID(x); id >= 0 {
+			return d.Text(id)
+		}
+		return nil
+	}
+	if fc := d.FirstChild(x); fc != xmltree.Nil && d.TagOf(fc) == d.AttrValTag() {
+		// attribute node: value is the % leaf
+		if id := d.NodeToTextID(fc); id >= 0 {
+			return d.Text(id)
+		}
+		return nil
+	}
+	return d.TextValue(x)
+}
+
+// matchSet returns the sorted identifiers of texts matching op(text, lit),
+// deciding between the FM-index and a plain-text scan by the global
+// occurrence count (the cut-off rule of Sections 3.4 and 6.3).
+func matchSet(d *xmltree.Doc, opts Options, op TextOp, fn, lit string) []int32 {
+	if op == OpCustom {
+		if f, ok := opts.CustomMatchSets[fn]; ok {
+			return f(lit)
+		}
+		return nil
+	}
+	fm := d.FM
+	p := []byte(lit)
+	cutoff := opts.PlainCutoff
+	if cutoff <= 0 {
+		cutoff = defaultPlainCutoff
+	}
+	var ids []int
+	switch op {
+	case OpStartsWith:
+		ids = fm.StartsWith(p)
+	case OpEquals:
+		ids = fm.Equals(p)
+	case OpEndsWith:
+		if fm.EndsWithCount(p) > cutoff && d.Plain != nil {
+			return plainScan(d, op, p)
+		}
+		ids = fm.EndsWith(p)
+	case OpContains:
+		g := fm.GlobalCount(p)
+		if g == 0 {
+			return nil
+		}
+		if g > cutoff && d.Plain != nil {
+			return plainScan(d, op, p)
+		}
+		ids = fm.Contains(p)
+	}
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = int32(id)
+	}
+	return out
+}
+
+const defaultPlainCutoff = 20000
+
+// plainScan evaluates the predicate over the redundant plain-text store.
+func plainScan(d *xmltree.Doc, op TextOp, p []byte) []int32 {
+	var out []int32
+	for id, t := range d.Plain {
+		if evalTextOp(op, t, p) {
+			out = append(out, int32(id))
+		}
+	}
+	return out
+}

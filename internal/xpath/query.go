@@ -1,0 +1,187 @@
+package xpath
+
+import (
+	"io"
+
+	"repro/internal/automata"
+	"repro/internal/xmltree"
+)
+
+// Options configure query compilation and evaluation.
+type Options struct {
+	// Eval toggles the automata optimizations (the Figure 12 ablation axes).
+	Eval automata.Options
+	// DisableBottomUp forces TopDownRun even for eligible queries.
+	DisableBottomUp bool
+	// ForceNaiveText disables the FM-index for text predicates, using the
+	// naive string-value semantics everywhere.
+	ForceNaiveText bool
+	// PlainCutoff is the global-count threshold above which contains
+	// predicates scan the plain texts instead of locating via the FM-index
+	// (Section 3.4). Zero means the default.
+	PlainCutoff int
+	// CustomMatchSets registers extension predicates by function name (the
+	// paper's PSSM queries, Section 6.7): the function receives the literal
+	// argument and returns the sorted ids of matching texts.
+	CustomMatchSets map[string]func(lit string) []int32
+}
+
+// Query is a compiled Core+ query bound to a document.
+type Query struct {
+	Src string
+	AST *Path
+
+	doc  *xmltree.Doc
+	auto *automata.Automaton
+	plan *buPlan
+	opts Options
+
+	// mayOvercount: counters are not guaranteed disjoint (see compileSteps);
+	// Count falls back to materialized set semantics.
+	mayOvercount bool
+
+	lastStats automata.Stats
+}
+
+// Strategy describes the chosen evaluation plan, in the notation of
+// Figure 14: "top-down" or "bottom-up", plus "fm" or "naive" when the query
+// has text predicates.
+func (q *Query) Strategy() string {
+	s := "top-down"
+	if q.plan != nil {
+		s = "bottom-up"
+	}
+	if hasText, fm := q.textInfo(); hasText {
+		if fm && !q.opts.ForceNaiveText && q.doc.FM != nil {
+			return s + ",fm"
+		}
+		return s + ",naive"
+	}
+	return s
+}
+
+func (q *Query) textInfo() (hasText, fmUsable bool) {
+	c := &compiler{doc: q.doc, opts: q.opts}
+	var walkExpr func(e Expr, carrier *Step)
+	var walkPath func(p *Path)
+	fmUsable = true
+	walkExpr = func(e Expr, carrier *Step) {
+		switch x := e.(type) {
+		case *AndExpr:
+			walkExpr(x.L, carrier)
+			walkExpr(x.R, carrier)
+		case *OrExpr:
+			walkExpr(x.L, carrier)
+			walkExpr(x.R, carrier)
+		case *NotExpr:
+			walkExpr(x.E, carrier)
+		case *PathExpr:
+			walkPath(x.Path)
+		case *TextExpr:
+			hasText = true
+			tgt := predTarget{test: carrier.Test, underAttr: carrier.underAttr}
+			if x.Target != nil {
+				walkPath(x.Target)
+				tl := x.Target.Steps[len(x.Target.Steps)-1]
+				tgt = predTarget{test: tl.Test, underAttr: tl.underAttr}
+			}
+			if _, ok := c.singleText(tgt); !ok {
+				fmUsable = false
+			}
+		}
+	}
+	walkPath = func(p *Path) {
+		for _, st := range p.Steps {
+			for _, f := range st.Filters {
+				walkExpr(f, st)
+			}
+		}
+	}
+	walkPath(q.AST)
+	return hasText, fmUsable
+}
+
+// Compile parses, normalizes, plans and compiles a query against a document.
+func Compile(src string, doc *xmltree.Doc, opts Options) (*Query, error) {
+	ast, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	norm, err := normalize(ast)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Src: src, AST: norm, doc: doc, opts: opts}
+	q.plan = planBottomUp(doc, norm, opts)
+	if q.plan == nil {
+		c := &compiler{doc: doc, f: automata.NewFactory(), opts: opts}
+		auto, err := c.compile(norm)
+		if err != nil {
+			return nil, err
+		}
+		q.auto = auto
+		q.mayOvercount = c.mayOvercount
+	}
+	return q, nil
+}
+
+// Count returns the number of result nodes (counting mode, Section 5.5.3).
+func (q *Query) Count() int64 {
+	if q.plan != nil {
+		nodes := q.plan.run()
+		q.lastStats = automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))}
+		return int64(len(nodes))
+	}
+	if q.mayOvercount {
+		return int64(len(q.Nodes()))
+	}
+	ev := automata.NewEvaluator(q.auto, q.doc, automata.Count, q.opts.Eval)
+	n, _ := ev.Run()
+	q.lastStats = ev.Stats
+	return n
+}
+
+// Nodes materializes the result nodes in document order.
+func (q *Query) Nodes() []int {
+	if q.plan != nil {
+		nodes := q.plan.run()
+		q.lastStats = automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))}
+		return nodes
+	}
+	ev := automata.NewEvaluator(q.auto, q.doc, automata.Materialize, q.opts.Eval)
+	_, nodes := ev.Run()
+	q.lastStats = ev.Stats
+	return nodes
+}
+
+// Serialize writes the XML serialization of every result node to w and
+// returns the number of results.
+func (q *Query) Serialize(w io.Writer) (int, error) {
+	nodes := q.Nodes()
+	for _, x := range nodes {
+		tag := q.doc.TagOf(x)
+		var err error
+		if tag == q.doc.TextTag() || tag == q.doc.AttrValTag() {
+			err = q.doc.GetText(q.doc.NodeToTextID(x), w)
+		} else {
+			err = q.doc.GetSubtree(x, w)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return 0, err
+		}
+	}
+	return len(nodes), nil
+}
+
+// Stats returns the evaluation statistics of the last Count/Nodes call.
+func (q *Query) Stats() automata.Stats { return q.lastStats }
+
+// Automaton exposes the compiled automaton (nil for bottom-up plans); used
+// by tests and the benchmark harness.
+func (q *Query) Automaton() *automata.Automaton { return q.auto }
+
+// UsesBottomUp reports whether the bottom-up plan was selected.
+func (q *Query) UsesBottomUp() bool { return q.plan != nil }

@@ -1,0 +1,69 @@
+// Package sxsi is a Go implementation of SXSI, the Succinct XML Self-Index
+// of Arroyuelo, Claude, Maneth, Mäkinen, Navarro, Nguyên, Sirén and
+// Välimäki ("Fast in-memory XPath search using compressed indexes", ICDE
+// 2010): a compressed, in-memory self-index for XML that supports fast
+// evaluation of the Core+ XPath fragment (forward axes plus the text
+// predicates =, contains, starts-with, ends-with).
+//
+// The index replaces the document: the tree structure lives in a
+// balanced-parentheses representation with per-tag rank/select support, and
+// the text collection lives in an FM-index from which any text can be
+// extracted. Queries compile to alternating marking tree automata that jump
+// directly to relevant nodes, or run bottom-up from text-index matches for
+// selective textual predicates.
+//
+// Quick start:
+//
+//	idx, err := sxsi.Build(xmlBytes, sxsi.Config{})
+//	n, err := idx.Count("//listitem//keyword")
+//	err = idx.Serialize("//keyword[contains(., 'gold')]", os.Stdout)
+package sxsi
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/xpath"
+)
+
+// Config controls indexing and evaluation; the zero value gives the paper's
+// defaults (FM-index with sampling step 64, plain-text store kept, all
+// evaluator optimizations on).
+type Config = core.Config
+
+// Index is an indexed XML document.
+type Index struct{ *core.Engine }
+
+// Query is a compiled Core+ XPath query bound to an index.
+type Query = xpath.Query
+
+// QueryOptions are the per-query planner and evaluator toggles.
+type QueryOptions = xpath.Options
+
+// Build parses and indexes an XML document held in memory.
+func Build(xml []byte, cfg Config) (*Index, error) {
+	e, err := core.Build(xml, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{e}, nil
+}
+
+// BuildFile indexes an XML file.
+func BuildFile(path string, cfg Config) (*Index, error) {
+	e, err := core.BuildFile(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{e}, nil
+}
+
+// Load reads an index previously written with Save. Loading skips suffix
+// sorting and is much faster than Build.
+func Load(r io.Reader, cfg Config) (*Index, error) {
+	e, err := core.Load(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{e}, nil
+}

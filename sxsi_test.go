@@ -1,0 +1,123 @@
+package sxsi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+const sampleDoc = `<parts><part name="pen"><color>blue</color><stock>40</stock></part><part name="rubber"><stock>30</stock></part></parts>`
+
+func TestBuildAndQuery(t *testing.T) {
+	idx, err := Build([]byte(sampleDoc), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := idx.Count("//stock")
+	if err != nil || n != 2 {
+		t.Fatalf("count=%d err=%v", n, err)
+	}
+	var buf bytes.Buffer
+	k, err := idx.Serialize("//part[@name = 'pen']/color", &buf)
+	if err != nil || k != 1 {
+		t.Fatalf("k=%d err=%v", k, err)
+	}
+	if strings.TrimSpace(buf.String()) != "<color>blue</color>" {
+		t.Fatalf("serialized %q", buf.String())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	data := gen.XMark(11, 100_000)
+	idx, err := Build(data, Config{SampleRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := Load(bytes.NewReader(buf.Bytes()), Config{SampleRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"//listitem//keyword",
+		"/site/regions",
+		"//person[address and (phone or homepage)]/name",
+		"//keyword[contains(., 'unique')]",
+		"//item/@id",
+	}
+	for _, q := range queries {
+		a, err := idx.Count(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		b, err := idx2.Count(q)
+		if err != nil {
+			t.Fatalf("%s after load: %v", q, err)
+		}
+		if a != b {
+			t.Fatalf("%s: before=%d after=%d", q, a, b)
+		}
+	}
+	// Serialization must agree too.
+	var s1, s2 bytes.Buffer
+	if _, err := idx.Serialize("//listitem//keyword", &s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx2.Serialize("//listitem//keyword", &s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatal("serialization differs after reload")
+	}
+}
+
+func TestRunLengthConfig(t *testing.T) {
+	data := gen.BioXML(3, 150_000)
+	idx, err := Build(data, Config{RunLength: true, SampleRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Build(data, Config{SampleRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"//gene", "//transcript/sequence", "//gene[biotype = 'pseudogene']"} {
+		a, _ := idx.Count(q)
+		b, _ := plain.Count(q)
+		if a != b {
+			t.Fatalf("%s: rl=%d plain=%d", q, a, b)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	idx, err := Build([]byte(sampleDoc), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	if st.Nodes != 16 || st.Texts != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.TreeBytes <= 0 || st.TextBytes <= 0 {
+		t.Fatalf("sizes %+v", st)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := Build([]byte("<unclosed>"), Config{}); err == nil {
+		t.Fatal("expected parse error")
+	}
+	idx, _ := Build([]byte(sampleDoc), Config{})
+	if _, err := idx.Count("//a["); err == nil {
+		t.Fatal("expected query error")
+	}
+	if _, err := Load(bytes.NewReader([]byte("garbage")), Config{}); err == nil {
+		t.Fatal("expected load error")
+	}
+}
