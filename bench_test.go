@@ -61,6 +61,36 @@ func setup(b *testing.B) {
 	})
 }
 
+// BenchmarkBuild measures full index construction (parse, suffix sort,
+// wavelet trees) on the XMark corpus. Compare with BenchmarkLoad: loading
+// a saved index skips the suffix sort and is expected to be at least an
+// order of magnitude faster (Figure 8).
+func BenchmarkBuild(b *testing.B) {
+	setup(b)
+	b.SetBytes(int64(len(corpora.xmark)))
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(corpora.xmark, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoad measures deserializing a saved index of the same corpus.
+func BenchmarkLoad(b *testing.B) {
+	setup(b)
+	var buf bytes.Buffer
+	if _, err := corpora.xmarkIdx.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(corpora.xmark)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Load(bytes.NewReader(buf.Bytes()), core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig8_IndexConstruction measures Build (Figure 8, construction).
 func BenchmarkFig8_IndexConstruction(b *testing.B) {
 	setup(b)

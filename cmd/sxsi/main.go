@@ -1,11 +1,17 @@
 // Command sxsi indexes XML documents and evaluates Core+ XPath queries.
 //
-//	sxsi index  -in doc.xml -out doc.sxsi        build and save an index
-//	sxsi count  -in doc.sxsi -q '//keyword'      counting query
-//	sxsi query  -in doc.sxsi -q '//keyword'      serialize results
-//	sxsi stats  -in doc.sxsi                     index statistics
+// The build-once / query-many workflow:
 //
-// -in accepts either a raw XML file (indexed on the fly) or a saved index.
+//	sxsi build -i doc.xml -o doc.sxsi            index a document and save it
+//	sxsi query -i doc.sxsi '//listitem//keyword' load the index, serialize results
+//	sxsi count -i doc.sxsi '//keyword'           load the index, print the count
+//	sxsi stats -i doc.sxsi                       index statistics
+//
+// Query and count accept either a saved index (loaded, skipping the
+// suffix-sort construction cost) or a raw XML file (indexed on the fly);
+// the two are distinguished by the index magic number. The query may be
+// given positionally or with -q. "index" is accepted as an alias of
+// "build" and -in/-out as aliases of -i/-o.
 package main
 
 import (
@@ -24,47 +30,49 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	in := fs.String("in", "", "input file (.xml or saved index)")
-	out := fs.String("out", "", "output index file (for 'index')")
-	q := fs.String("q", "", "XPath query")
+	in := fs.String("i", "", "input file (.xml or saved index)")
+	out := fs.String("o", "", "output index file (for 'build')")
+	q := fs.String("q", "", "XPath query (may also be given positionally)")
 	sample := fs.Int("sample", 64, "FM-index sampling rate l")
 	rl := fs.Bool("rl", false, "use the run-length text index (repetitive data)")
+	fs.StringVar(in, "in", "", "alias of -i")
+	fs.StringVar(out, "out", "", "alias of -o")
 	fs.Parse(os.Args[2:])
+	if *q == "" && fs.NArg() > 0 {
+		*q = fs.Arg(0)
+	}
 
 	if *in == "" {
-		fatal("missing -in")
+		fatal("missing -i input file")
 	}
 	cfg := core.Config{SampleRate: *sample, RunLength: *rl}
-	eng := open(*in, cfg)
 
 	switch cmd {
-	case "index":
+	case "build", "index":
 		if *out == "" {
-			fatal("missing -out")
+			fatal("missing -o output index file")
 		}
-		f, err := os.Create(*out)
-		check(err)
-		defer f.Close()
-		n, err := eng.Save(f)
+		eng := open(*in, cfg)
+		n, err := eng.SaveFile(*out)
 		check(err)
 		fmt.Printf("wrote %d bytes to %s\n", n, *out)
 	case "count":
 		if *q == "" {
-			fatal("missing -q")
+			fatal("missing query")
 		}
-		n, err := eng.Count(*q)
+		n, err := open(*in, cfg).Count(*q)
 		check(err)
 		fmt.Println(n)
 	case "query":
 		if *q == "" {
-			fatal("missing -q")
+			fatal("missing query")
 		}
 		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
-		_, err := eng.Serialize(*q, w)
+		_, err := open(*in, cfg).Serialize(*q, w)
 		check(err)
+		check(w.Flush())
 	case "stats":
-		st := eng.Stats()
+		st := open(*in, cfg).Stats()
 		fmt.Printf("nodes:        %d\n", st.Nodes)
 		fmt.Printf("texts:        %d\n", st.Texts)
 		fmt.Printf("distinct tags:%d\n", st.Tags)
@@ -80,7 +88,7 @@ func main() {
 func open(path string, cfg core.Config) *core.Engine {
 	data, err := os.ReadFile(path)
 	check(err)
-	if bytes.HasPrefix(data, []byte("SXSIGO")) {
+	if core.IsIndexData(data) {
 		eng, err := core.Load(bytes.NewReader(data), cfg)
 		check(err)
 		return eng
@@ -91,7 +99,15 @@ func open(path string, cfg core.Config) *core.Engine {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sxsi {index|count|query|stats} -in FILE [-out FILE] [-q QUERY]")
+	fmt.Fprintln(os.Stderr, `usage: sxsi <command> -i FILE [flags] [QUERY]
+
+commands:
+  build  -i doc.xml  -o doc.sxsi    index a document and save the index
+  query  -i doc.sxsi 'XPATH'        evaluate and serialize result subtrees
+  count  -i doc.sxsi 'XPATH'        evaluate in counting mode
+  stats  -i doc.sxsi                print index statistics
+
+flags: -sample N (FM sampling rate), -rl (run-length text index)`)
 	os.Exit(2)
 }
 

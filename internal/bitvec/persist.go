@@ -1,0 +1,136 @@
+package bitvec
+
+import (
+	"io"
+
+	"repro/internal/persist"
+)
+
+// On-disk layout of the bit vectors. Both kinds carry a one-byte format
+// version so a standalone payload is self-describing; the rank directories
+// are not stored — Build recreates them in linear time on load, which is
+// the cheap part of construction.
+//
+// Store/ReadVector (and the Sparse pair) compose into a caller's
+// persist.Writer/Reader so enclosing structures serialize through one
+// buffered stream; Save/Load are the standalone io.Writer/io.Reader
+// wrappers.
+
+const (
+	vectorFormat = 1
+	sparseFormat = 1
+)
+
+// Store serializes the frozen vector (version byte, length, raw words)
+// into pw.
+func (v *Vector) Store(pw *persist.Writer) {
+	pw.Byte(vectorFormat)
+	pw.Int(v.n)
+	pw.Words(v.words)
+}
+
+// ReadVector reads a vector written by Store and rebuilds its rank
+// directory. On corrupt input it returns nil and leaves the error in pr.
+func ReadVector(pr *persist.Reader) *Vector {
+	if pr.Check(pr.Byte() == vectorFormat, "unknown bit vector format") != nil {
+		return nil
+	}
+	n := pr.Int()
+	words := pr.Words()
+	if pr.Check(len(words) == (n+63)/64, "bit vector word count mismatch") != nil {
+		return nil
+	}
+	// Bits beyond n must be zero: Build's popcounts (and word-level
+	// consumers) assume a clean tail.
+	if rem := n & 63; rem != 0 {
+		if pr.Check(words[len(words)-1]>>uint(rem) == 0, "bit vector tail not zero") != nil {
+			return nil
+		}
+	}
+	v := &Vector{words: words, n: n}
+	v.Build()
+	return v
+}
+
+// Save serializes the frozen vector to w.
+func (v *Vector) Save(w io.Writer) error {
+	pw := persist.NewWriter(w)
+	v.Store(pw)
+	return pw.Flush()
+}
+
+// LoadVector reads a vector written by Save.
+func LoadVector(r io.Reader) (*Vector, error) {
+	pr := persist.NewReader(r)
+	v := ReadVector(pr)
+	if pr.Err() != nil {
+		return nil, pr.Err()
+	}
+	return v, nil
+}
+
+// Store serializes the sparse vector into pw: universe size and the packed
+// Elias–Fano components (low bits plus the unary high stream).
+func (s *Sparse) Store(pw *persist.Writer) {
+	pw.Byte(sparseFormat)
+	pw.Int(s.n)
+	pw.Int(s.m)
+	pw.Int(int(s.lowBits))
+	pw.Int(s.maxValue)
+	pw.Words(s.low)
+	s.high.Store(pw)
+}
+
+// ReadSparse reads a sparse vector written by Store. On corrupt input it
+// returns nil and leaves the error in pr.
+func ReadSparse(pr *persist.Reader) *Sparse {
+	if pr.Check(pr.Byte() == sparseFormat, "unknown sparse vector format") != nil {
+		return nil
+	}
+	s := &Sparse{}
+	s.n = pr.Int()
+	s.m = pr.Int()
+	lb := pr.Int()
+	s.maxValue = pr.Int()
+	s.low = pr.Words()
+	high := ReadVector(pr)
+	if pr.Err() != nil {
+		return nil
+	}
+	if pr.Check(lb < 64, "sparse low-bit width out of range") != nil {
+		return nil
+	}
+	s.lowBits = uint(lb)
+	s.high = high
+	if s.m == 0 {
+		if pr.Check(len(s.low) == 0, "sparse low bits without ones") != nil {
+			return nil
+		}
+		return s
+	}
+	ok := len(s.low) == (s.m*lb+63)/64 &&
+		high.Ones() == s.m &&
+		high.Len() == (s.n>>s.lowBits)+s.m+1 &&
+		s.maxValue < s.n
+	if pr.Check(ok, "sparse vector component mismatch") != nil {
+		return nil
+	}
+	return s
+}
+
+// Save serializes the sparse vector to w.
+func (s *Sparse) Save(w io.Writer) error {
+	pw := persist.NewWriter(w)
+	s.Store(pw)
+	return pw.Flush()
+}
+
+// LoadSparse reads a sparse vector written by Save.
+func LoadSparse(r io.Reader) (*Sparse, error) {
+	pr := persist.NewReader(r)
+	s := ReadSparse(pr)
+	if pr.Err() != nil {
+		return nil, pr.Err()
+	}
+	return s, nil
+}

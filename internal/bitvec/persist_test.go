@@ -1,0 +1,121 @@
+package bitvec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+func TestVectorSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 63, 64, 65, 511, 512, 513, 5000} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				v.Set(i)
+			}
+		}
+		v.Build()
+		var buf bytes.Buffer
+		if err := v.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadVector(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Len() != v.Len() || got.Ones() != v.Ones() {
+			t.Fatalf("n=%d: len/ones mismatch", n)
+		}
+		for i := 0; i <= n; i++ {
+			if got.Rank1(i) != v.Rank1(i) {
+				t.Fatalf("n=%d Rank1(%d)", n, i)
+			}
+		}
+		for j := 0; j < v.Ones(); j++ {
+			if got.Select1(j) != v.Select1(j) {
+				t.Fatalf("n=%d Select1(%d)", n, j)
+			}
+		}
+	}
+}
+
+func TestSparseSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct{ n, m int }{
+		{0, 0}, {10, 0}, {1, 1}, {100, 5}, {1 << 16, 100}, {1000, 1000},
+	} {
+		positions := rng.Perm(tc.n)[:tc.m]
+		if tc.m > 0 {
+			positions = append([]int(nil), positions...)
+		}
+		sortInts(positions)
+		s := NewSparse(tc.n, positions)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadSparse(&buf)
+		if err != nil {
+			t.Fatalf("n=%d m=%d: %v", tc.n, tc.m, err)
+		}
+		if got.Len() != s.Len() || got.Ones() != s.Ones() {
+			t.Fatalf("n=%d m=%d: len/ones mismatch", tc.n, tc.m)
+		}
+		for j := 0; j < s.Ones(); j++ {
+			if got.Select1(j) != s.Select1(j) {
+				t.Fatalf("Select1(%d)", j)
+			}
+		}
+		for i := 0; i <= tc.n; i += 1 + tc.n/97 {
+			if got.Rank1(i) != s.Rank1(i) {
+				t.Fatalf("Rank1(%d)", i)
+			}
+		}
+	}
+}
+
+func TestVectorLoadCorrupt(t *testing.T) {
+	v := FromBools([]bool{true, false, true, true})
+	var buf bytes.Buffer
+	v.Save(&buf)
+	data := buf.Bytes()
+	// Truncations.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := LoadVector(bytes.NewReader(data[:cut])); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("cut=%d err=%v", cut, err)
+		}
+	}
+	// Wrong format byte.
+	bad := append([]byte(nil), data...)
+	bad[0] = 0xFF
+	if _, err := LoadVector(bytes.NewReader(bad)); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("bad format: %v", err)
+	}
+	// Word count inconsistent with the bit length.
+	bad = append([]byte(nil), data...)
+	bad[1] = 200 // n = 200 needs 4 words, payload has 1
+	if _, err := LoadVector(bytes.NewReader(bad)); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("bad word count: %v", err)
+	}
+}
+
+func TestSparseLoadCorrupt(t *testing.T) {
+	s := NewSparse(1000, []int{3, 77, 500, 999})
+	var buf bytes.Buffer
+	s.Save(&buf)
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := LoadSparse(bytes.NewReader(data[:cut])); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("cut=%d err=%v", cut, err)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 0xFF
+	if _, err := LoadSparse(bytes.NewReader(bad)); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("bad format: %v", err)
+	}
+}

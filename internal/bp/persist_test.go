@@ -1,0 +1,78 @@
+package bp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+// randomTree produces a balanced parenthesis sequence of n nodes.
+func randomTree(rng *rand.Rand, n int) []bool {
+	var seq []bool
+	open := 0
+	nodes := 0
+	for nodes < n || open > 0 {
+		if nodes < n && (open == 0 || rng.Intn(2) == 0) {
+			seq = append(seq, true)
+			open++
+			nodes++
+		} else {
+			seq = append(seq, false)
+			open--
+		}
+	}
+	return seq
+}
+
+func TestParensSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 10, 300, 2000} {
+		p := NewFromBools(randomTree(rng, n))
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Len() != p.Len() || got.NumNodes() != p.NumNodes() {
+			t.Fatalf("n=%d: dimensions", n)
+		}
+		for i := 0; i < p.Len(); i++ {
+			if got.IsOpen(i) != p.IsOpen(i) {
+				t.Fatalf("IsOpen(%d)", i)
+			}
+			if p.IsOpen(i) {
+				if got.FindClose(i) != p.FindClose(i) ||
+					got.Parent(i) != p.Parent(i) ||
+					got.FirstChild(i) != p.FirstChild(i) ||
+					got.NextSibling(i) != p.NextSibling(i) ||
+					got.SubtreeSize(i) != p.SubtreeSize(i) {
+					t.Fatalf("navigation differs at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestParensLoadCorrupt(t *testing.T) {
+	p := NewFromBools([]bool{true, true, false, true, false, false})
+	var buf bytes.Buffer
+	p.Save(&buf)
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Load(bytes.NewReader(data[:cut])); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("cut=%d err=%v", cut, err)
+		}
+	}
+	// An odd parenthesis count cannot be a tree.
+	bad := append([]byte(nil), data...)
+	bad[2] = 7 // vector length field (offset: parens format byte + vector format byte)
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("odd count: %v", err)
+	}
+}

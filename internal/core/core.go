@@ -72,9 +72,24 @@ func BuildFile(path string, cfg Config) (*Engine, error) {
 	return Build(data, cfg)
 }
 
-// Save writes the index to w; Load reads it back. Loading skips suffix
-// sorting and is much faster than Build (Figure 8).
+// Save writes the index to w in the versioned container format of package
+// persist; Load reads it back. Loading skips suffix sorting and is much
+// faster than Build (Figure 8).
 func (e *Engine) Save(w io.Writer) (int64, error) { return e.Doc.WriteTo(w) }
+
+// SaveFile writes the index to path, returning the number of bytes
+// written.
+func (e *Engine) SaveFile(path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := e.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
 
 // Load reads an index previously written by Save.
 func Load(r io.Reader, cfg Config) (*Engine, error) {
@@ -83,6 +98,23 @@ func Load(r io.Reader, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{Doc: doc, opts: cfg}, nil
+}
+
+// LoadFile reads an index file previously written by SaveFile.
+func LoadFile(path string, cfg Config) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, cfg)
+}
+
+// IsIndexData reports whether data begins with the saved-index magic, i.e.
+// whether it is a serialized index rather than raw XML.
+func IsIndexData(data []byte) bool {
+	return len(data) >= len(xmltree.IndexMagic) &&
+		string(data[:len(xmltree.IndexMagic)]) == xmltree.IndexMagic
 }
 
 // Compile compiles a Core+ XPath query against the document.

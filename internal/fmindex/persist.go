@@ -1,0 +1,190 @@
+package fmindex
+
+import (
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/persist"
+	"repro/internal/wavelet"
+)
+
+// On-disk layout: the sampling metadata (Doc array, text lengths, sampled
+// positions and the sampled-row bitmap) plus the BWT sequence itself. When
+// the sequence is the default wavelet tree it is stored structurally, so
+// loading attaches the node bitmaps without re-running the symbol
+// distribution pass; any other RankSequence falls back to the raw BWT
+// string and is rebuilt by the caller's SequenceBuilder. Either way the
+// suffix sort — the dominant construction cost — never runs on load.
+
+const indexFormat = 1
+
+// Sequence payload kinds.
+const (
+	seqRawBWT  = 0 // raw BWT byte string, rebuilt via the SequenceBuilder
+	seqWavelet = 1 // structured wavelet tree
+)
+
+// Store serializes the index into pw.
+func (x *Index) Store(pw *persist.Writer) {
+	pw.Byte(indexFormat)
+	pw.Int(x.n)
+	pw.Int(x.d)
+	pw.Int(x.l)
+	pw.Int32s(x.lens)
+	pw.Int32s(x.doc)
+	pw.Int32s(x.ps)
+	x.bs.Store(pw)
+	if wt, ok := x.bwt.(storedTree); ok {
+		pw.Byte(seqWavelet)
+		wt.Store(pw)
+	} else {
+		pw.Byte(seqRawBWT)
+		bwt := make([]byte, x.n)
+		for i := range bwt {
+			bwt[i] = x.bwt.Access(i)
+		}
+		pw.Bytes(bwt)
+	}
+}
+
+// storedTree is the structural-serialization hook: the wavelet tree
+// satisfies it; other rank sequences take the raw-BWT path.
+type storedTree interface {
+	RankSequence
+	Store(pw *persist.Writer)
+}
+
+// Read reads an index written by Store. builder rebuilds the rank sequence
+// when the stored payload is a raw BWT (or when a non-nil builder must
+// override a structurally stored wavelet tree). A nil builder keeps the
+// stored wavelet tree as is. On corrupt input Read returns nil and leaves
+// the error in pr.
+func Read(pr *persist.Reader, builder SequenceBuilder) *Index {
+	if pr.Check(pr.Byte() == indexFormat, "unknown fm-index format") != nil {
+		return nil
+	}
+	x := &Index{}
+	x.n = pr.Int()
+	x.d = pr.Int()
+	x.l = pr.Int()
+	x.lens = pr.Int32s()
+	x.doc = pr.Int32s()
+	x.ps = pr.Int32s()
+	x.bs = bitvec.ReadVector(pr)
+	if pr.Err() != nil {
+		return nil
+	}
+	// Anchor n to the sampled-row bitmap before decoding the sequence: the
+	// bitmap's length is backed by actually-read words, so a corrupt n
+	// cannot drive the BWT materialization below (size or index-wise).
+	if pr.Check(x.bs.Len() == x.n, "fm-index length mismatch") != nil {
+		return nil
+	}
+	kind := pr.Byte()
+	switch kind {
+	case seqWavelet:
+		wt := wavelet.Read(pr)
+		if wt == nil {
+			return nil
+		}
+		if pr.Check(wt.Len() == x.n, "bwt length mismatch") != nil {
+			return nil
+		}
+		if builder != nil {
+			// The caller wants a different sequence type: re-materialize the
+			// BWT and hand it over.
+			bwt := make([]byte, x.n)
+			for i := range bwt {
+				bwt[i] = wt.Access(i)
+			}
+			x.bwt = builder(bwt)
+		} else {
+			x.bwt = wt
+		}
+	case seqRawBWT:
+		bwt := pr.Bytes()
+		if pr.Check(len(bwt) == x.n, "bwt length mismatch") != nil {
+			return nil
+		}
+		if builder == nil {
+			builder = WaveletBuilder
+		}
+		x.bwt = builder(bwt)
+	default:
+		pr.Check(false, "unknown bwt sequence kind")
+		return nil
+	}
+	if err := x.finishLoad(pr); err != nil {
+		return nil
+	}
+	return x
+}
+
+// finishLoad validates the decoded components against each other and
+// derives the redundant parts (C array, text-start positions).
+func (x *Index) finishLoad(pr *persist.Reader) error {
+	ok := x.bwt.Len() == x.n &&
+		len(x.lens) == x.d &&
+		len(x.doc) == x.d &&
+		x.bwt.Count(0) == x.d &&
+		x.bs.Len() == x.n &&
+		x.bs.Ones() == len(x.ps) &&
+		x.l > 0
+	if err := pr.Check(ok, "fm-index component mismatch"); err != nil {
+		return err
+	}
+	total := 0
+	for _, l := range x.lens {
+		if err := pr.Check(l >= 0, "negative text length"); err != nil {
+			return err
+		}
+		total += int(l) + 1
+	}
+	if x.d > 0 {
+		if err := pr.Check(total == x.n, "text lengths do not sum to collection size"); err != nil {
+			return err
+		}
+	}
+	for _, id := range x.doc {
+		if err := pr.Check(id >= 0 && int(id) < x.d, "doc identifier out of range"); err != nil {
+			return err
+		}
+	}
+	for _, p := range x.ps {
+		if err := pr.Check(p >= 0 && int(p) < x.n, "sampled position out of range"); err != nil {
+			return err
+		}
+	}
+	for c := 0; c < 256; c++ {
+		x.c[c+1] = x.c[c] + x.bwt.Count(byte(c))
+	}
+	starts := make([]int, x.d)
+	pos := 0
+	for i, l := range x.lens {
+		starts[i] = pos
+		pos += int(l) + 1
+	}
+	if x.d == 0 {
+		x.strt = bitvec.NewSparse(1, nil)
+	} else {
+		x.strt = bitvec.NewSparse(x.n+1, starts)
+	}
+	return nil
+}
+
+// Save serializes the index to w.
+func (x *Index) Save(w io.Writer) error {
+	pw := persist.NewWriter(w)
+	x.Store(pw)
+	return pw.Flush()
+}
+
+// Load reads an index written by Save; builder is as in Read.
+func Load(r io.Reader, builder SequenceBuilder) (*Index, error) {
+	pr := persist.NewReader(r)
+	x := Read(pr, builder)
+	if pr.Err() != nil {
+		return nil, pr.Err()
+	}
+	return x, nil
+}

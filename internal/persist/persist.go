@@ -1,0 +1,479 @@
+// Package persist provides the shared binary primitives of the on-disk
+// index format: a bounds-checked little-endian reader/writer pair for the
+// scalar and slice types the succinct structures are made of, and a
+// sectioned container format with a magic number, a format version and an
+// explicit byte length per section, so that future layout changes are
+// detected (version mismatch) or skipped (unknown section) rather than
+// silently misread. Every structure in the index stack (bitvec, bp,
+// wavelet, tags, fmindex, wordindex, xmltree) builds its Save/Load on these
+// primitives.
+//
+// All corruption and truncation conditions surface as errors wrapping
+// ErrCorrupt; no input may cause a panic or an unbounded allocation.
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt reports corrupted, truncated or incompatible serialized data.
+var ErrCorrupt = errors.New("persist: corrupt or truncated data")
+
+// maxLen caps any single length field (bytes or elements). Lengths beyond
+// it are treated as corruption rather than allocation requests.
+const maxLen = 1 << 38
+
+// allocChunk bounds the up-front allocation for length-prefixed payloads:
+// buffers grow as data actually arrives, so a corrupt length field cannot
+// trigger a giant allocation before the read fails.
+const allocChunk = 1 << 20
+
+// --- Writer ---
+
+// Writer serializes primitives to an underlying stream. The first write
+// error sticks; check Err (or Flush) once at the end instead of after every
+// call.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter returns a buffered Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+func (pw *Writer) write(b []byte) {
+	if pw.err != nil {
+		return
+	}
+	n, err := pw.w.Write(b)
+	pw.n += int64(n)
+	pw.err = err
+}
+
+// Uint64 writes a fixed 8-byte little-endian value.
+func (pw *Writer) Uint64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	pw.write(b[:])
+}
+
+// Uint32 writes a fixed 4-byte little-endian value.
+func (pw *Writer) Uint32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	pw.write(b[:])
+}
+
+// Byte writes a single byte.
+func (pw *Writer) Byte(v byte) { pw.write([]byte{v}) }
+
+// Int writes a non-negative int as a Uint64.
+func (pw *Writer) Int(v int) { pw.Uint64(uint64(v)) }
+
+// Int32 writes an int32 as a Uint32.
+func (pw *Writer) Int32(v int32) { pw.Uint32(uint32(v)) }
+
+// Bytes writes a length-prefixed byte slice.
+func (pw *Writer) Bytes(b []byte) {
+	pw.Int(len(b))
+	pw.write(b)
+}
+
+// Raw writes b with no length prefix; the caller's format must make the
+// length recoverable.
+func (pw *Writer) Raw(b []byte) { pw.write(b) }
+
+// String writes a length-prefixed string.
+func (pw *Writer) String(s string) {
+	pw.Int(len(s))
+	if pw.err == nil {
+		var n int
+		n, pw.err = pw.w.WriteString(s)
+		pw.n += int64(n)
+	}
+}
+
+// Words writes a length-prefixed []uint64.
+func (pw *Writer) Words(ws []uint64) {
+	pw.Int(len(ws))
+	var b [8]byte
+	for _, x := range ws {
+		binary.LittleEndian.PutUint64(b[:], x)
+		pw.write(b[:])
+	}
+}
+
+// Int32s writes a length-prefixed []int32.
+func (pw *Writer) Int32s(xs []int32) {
+	pw.Int(len(xs))
+	var b [4]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(b[:], uint32(x))
+		pw.write(b[:])
+	}
+}
+
+// Count returns the number of bytes handed to the underlying writer so far
+// (excluding data still buffered; call Flush first for an exact total).
+func (pw *Writer) Count() int64 { return pw.n }
+
+// Err returns the first write error.
+func (pw *Writer) Err() error { return pw.err }
+
+// Flush drains the buffer and returns the first error encountered.
+func (pw *Writer) Flush() error {
+	if pw.err != nil {
+		return pw.err
+	}
+	pw.err = pw.w.Flush()
+	return pw.err
+}
+
+// --- Reader ---
+
+// Reader deserializes primitives written by Writer. The first error sticks
+// and subsequent reads return zero values; check Err once after the last
+// read, or rely on the validation the caller performs on the decoded
+// values.
+type Reader struct {
+	r   io.Reader
+	err error
+}
+
+// NewReader returns a Reader over r. The stream is buffered unless it
+// already is.
+func NewReader(r io.Reader) *Reader {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	return &Reader{r: r}
+}
+
+func (pr *Reader) fail(err error) {
+	if pr.err == nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			err = fmt.Errorf("%w: unexpected end of input", ErrCorrupt)
+		}
+		pr.err = err
+	}
+}
+
+func (pr *Reader) read(b []byte) bool {
+	if pr.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(pr.r, b); err != nil {
+		pr.fail(err)
+		return false
+	}
+	return true
+}
+
+// Uint64 reads a fixed 8-byte little-endian value.
+func (pr *Reader) Uint64() uint64 {
+	var b [8]byte
+	if !pr.read(b[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Uint32 reads a fixed 4-byte little-endian value.
+func (pr *Reader) Uint32() uint32 {
+	var b [4]byte
+	if !pr.read(b[:]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Byte reads a single byte.
+func (pr *Reader) Byte() byte {
+	var b [1]byte
+	if !pr.read(b[:]) {
+		return 0
+	}
+	return b[0]
+}
+
+// Int reads a non-negative int, rejecting implausible values.
+func (pr *Reader) Int() int {
+	v := pr.Uint64()
+	if v > maxLen {
+		pr.fail(fmt.Errorf("%w: implausible length %d", ErrCorrupt, v))
+		return 0
+	}
+	return int(v)
+}
+
+// Int32 reads an int32.
+func (pr *Reader) Int32() int32 { return int32(pr.Uint32()) }
+
+// Bytes reads a length-prefixed byte slice. Allocation grows with the data
+// actually read, so a corrupt length cannot exhaust memory up front.
+func (pr *Reader) Bytes() []byte {
+	n := pr.Int()
+	if pr.err != nil || n == 0 {
+		return nil
+	}
+	if n <= allocChunk {
+		buf := make([]byte, n)
+		if !pr.read(buf) {
+			return nil
+		}
+		return buf
+	}
+	buf := make([]byte, 0, allocChunk)
+	chunk := make([]byte, allocChunk)
+	for len(buf) < n {
+		k := min(n-len(buf), allocChunk)
+		if !pr.read(chunk[:k]) {
+			return nil
+		}
+		buf = append(buf, chunk[:k]...)
+	}
+	return buf
+}
+
+// String reads a length-prefixed string.
+func (pr *Reader) String() string { return string(pr.Bytes()) }
+
+// Raw reads exactly n unprefixed bytes (the counterpart of Writer.Raw).
+// Allocation grows with the data actually read.
+func (pr *Reader) Raw(n int) []byte {
+	if pr.err != nil || n < 0 || n > maxLen {
+		pr.fail(fmt.Errorf("%w: implausible raw length %d", ErrCorrupt, n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if n <= allocChunk {
+		buf := make([]byte, n)
+		if !pr.read(buf) {
+			return nil
+		}
+		return buf
+	}
+	buf := make([]byte, 0, allocChunk)
+	chunk := make([]byte, allocChunk)
+	for len(buf) < n {
+		k := min(n-len(buf), allocChunk)
+		if !pr.read(chunk[:k]) {
+			return nil
+		}
+		buf = append(buf, chunk[:k]...)
+	}
+	return buf
+}
+
+// Words reads a length-prefixed []uint64.
+func (pr *Reader) Words() []uint64 {
+	n := pr.Int()
+	if pr.err != nil {
+		return nil
+	}
+	out := make([]uint64, 0, min(n, allocChunk/8))
+	var b [8]byte
+	for i := 0; i < n; i++ {
+		if !pr.read(b[:]) {
+			return nil
+		}
+		out = append(out, binary.LittleEndian.Uint64(b[:]))
+	}
+	return out
+}
+
+// Int32s reads a length-prefixed []int32.
+func (pr *Reader) Int32s() []int32 {
+	n := pr.Int()
+	if pr.err != nil {
+		return nil
+	}
+	out := make([]int32, 0, min(n, allocChunk/4))
+	var b [4]byte
+	for i := 0; i < n; i++ {
+		if !pr.read(b[:]) {
+			return nil
+		}
+		out = append(out, int32(binary.LittleEndian.Uint32(b[:])))
+	}
+	return out
+}
+
+// Err returns the first read error.
+func (pr *Reader) Err() error { return pr.err }
+
+// Check returns cond ? nil : a corruption error with the given context.
+// Loaders use it to turn validation failures into uniform errors.
+func (pr *Reader) Check(cond bool, what string) error {
+	if pr.err != nil {
+		return pr.err
+	}
+	if !cond {
+		pr.err = fmt.Errorf("%w: %s", ErrCorrupt, what)
+		return pr.err
+	}
+	return nil
+}
+
+// --- Sectioned container ---
+
+// The container layout is:
+//
+//	magic   [len(magic)]byte
+//	version uint16
+//	section*:
+//	    id      uint32  (nonzero)
+//	    length  uint64  (payload bytes)
+//	    payload [length]byte
+//	end     uint32(0)
+//
+// Readers iterate sections by id, skipping unknown ones by their length;
+// an unexpected magic or a version above the reader's maximum is reported
+// before any payload is interpreted.
+
+// FileWriter writes a sectioned container. Each section is buffered to
+// learn its length before being written out, so Save's transient memory
+// peaks at roughly the largest single section (the text blob for the
+// index container). A seekable-writer backpatching fast path can remove
+// that if it ever matters.
+type FileWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+	buf bytes.Buffer
+}
+
+// NewFileWriter writes the header (magic + version) and returns the writer.
+func NewFileWriter(w io.Writer, magic string, version uint16) *FileWriter {
+	fw := &FileWriter{w: w}
+	fw.writeAll([]byte(magic))
+	var v [2]byte
+	binary.LittleEndian.PutUint16(v[:], version)
+	fw.writeAll(v[:])
+	return fw
+}
+
+func (fw *FileWriter) writeAll(b []byte) {
+	if fw.err != nil {
+		return
+	}
+	n, err := fw.w.Write(b)
+	fw.n += int64(n)
+	fw.err = err
+}
+
+// Section writes one section: fn serializes the payload into a Writer, and
+// the section header (id, byte length) is emitted before the payload.
+func (fw *FileWriter) Section(id uint32, fn func(*Writer)) {
+	if fw.err != nil {
+		return
+	}
+	fw.buf.Reset()
+	pw := NewWriter(&fw.buf)
+	fn(pw)
+	if err := pw.Flush(); err != nil {
+		fw.err = err
+		return
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], id)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(fw.buf.Len()))
+	fw.writeAll(hdr[:])
+	fw.writeAll(fw.buf.Bytes())
+}
+
+// Close writes the end marker and returns the total bytes written.
+func (fw *FileWriter) Close() (int64, error) {
+	var end [4]byte
+	fw.writeAll(end[:])
+	return fw.n, fw.err
+}
+
+// FileReader iterates the sections of a container.
+type FileReader struct {
+	r       *bufio.Reader
+	version uint16
+	cur     int64 // unread bytes of the current section
+}
+
+// NewFileReader checks the magic and version and positions the reader at
+// the first section. maxVersion is the newest format the caller
+// understands.
+func NewFileReader(r io.Reader, magic string, maxVersion uint16) (*FileReader, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("%w: missing magic", ErrCorrupt)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, got)
+	}
+	var v [2]byte
+	if _, err := io.ReadFull(br, v[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing version", ErrCorrupt)
+	}
+	ver := binary.LittleEndian.Uint16(v[:])
+	if ver == 0 || ver > maxVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (newest understood: %d)", ErrCorrupt, ver, maxVersion)
+	}
+	return &FileReader{r: br, version: ver}, nil
+}
+
+// Version returns the container's format version.
+func (fr *FileReader) Version() uint16 { return fr.version }
+
+// Next skips any unread remainder of the current section and returns the
+// next section's id and a Reader limited to its payload. It returns id 0
+// at the end marker.
+func (fr *FileReader) Next() (uint32, *Reader, error) {
+	if fr.cur > 0 {
+		if _, err := io.CopyN(io.Discard, fr.r, fr.cur); err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated section", ErrCorrupt)
+		}
+		fr.cur = 0
+	}
+	var idb [4]byte
+	if _, err := io.ReadFull(fr.r, idb[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: missing section header", ErrCorrupt)
+	}
+	id := binary.LittleEndian.Uint32(idb[:])
+	if id == 0 {
+		return 0, nil, nil
+	}
+	var lb [8]byte
+	if _, err := io.ReadFull(fr.r, lb[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: missing section length", ErrCorrupt)
+	}
+	length := binary.LittleEndian.Uint64(lb[:])
+	if length > maxLen {
+		return 0, nil, fmt.Errorf("%w: implausible section length %d", ErrCorrupt, length)
+	}
+	fr.cur = int64(length)
+	lr := &countingLimitReader{fr: fr, r: io.LimitReader(fr.r, int64(length))}
+	return id, NewReader(lr), nil
+}
+
+// countingLimitReader tracks how much of the section the consumer has read
+// so Next can skip the rest.
+type countingLimitReader struct {
+	fr *FileReader
+	r  io.Reader
+}
+
+func (c *countingLimitReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.fr.cur -= int64(n)
+	if err == io.EOF && c.fr.cur == 0 {
+		// A fully consumed section is a clean EOF for the section reader.
+		return n, io.EOF
+	}
+	return n, err
+}

@@ -1,0 +1,230 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	pw.Uint64(42)
+	pw.Uint32(7)
+	pw.Byte(0xAB)
+	pw.Int(123456)
+	pw.Int32(-5)
+	pw.Bytes([]byte("hello"))
+	pw.Bytes(nil)
+	pw.String("wörld")
+	pw.Words([]uint64{1, 1 << 63, 0})
+	pw.Int32s([]int32{-1, 0, 1 << 30})
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if pw.Count() != int64(buf.Len()) {
+		t.Fatalf("Count=%d len=%d", pw.Count(), buf.Len())
+	}
+
+	pr := NewReader(&buf)
+	if v := pr.Uint64(); v != 42 {
+		t.Fatalf("Uint64=%d", v)
+	}
+	if v := pr.Uint32(); v != 7 {
+		t.Fatalf("Uint32=%d", v)
+	}
+	if v := pr.Byte(); v != 0xAB {
+		t.Fatalf("Byte=%x", v)
+	}
+	if v := pr.Int(); v != 123456 {
+		t.Fatalf("Int=%d", v)
+	}
+	if v := pr.Int32(); v != -5 {
+		t.Fatalf("Int32=%d", v)
+	}
+	if b := pr.Bytes(); string(b) != "hello" {
+		t.Fatalf("Bytes=%q", b)
+	}
+	if b := pr.Bytes(); len(b) != 0 {
+		t.Fatalf("empty Bytes=%q", b)
+	}
+	if s := pr.String(); s != "wörld" {
+		t.Fatalf("String=%q", s)
+	}
+	if w := pr.Words(); len(w) != 3 || w[1] != 1<<63 {
+		t.Fatalf("Words=%v", w)
+	}
+	if xs := pr.Int32s(); len(xs) != 3 || xs[0] != -1 || xs[2] != 1<<30 {
+		t.Fatalf("Int32s=%v", xs)
+	}
+	if pr.Err() != nil {
+		t.Fatal(pr.Err())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	pw.Bytes(make([]byte, 1000))
+	pw.Flush()
+	data := buf.Bytes()
+	// Every proper prefix must produce ErrCorrupt, never a panic.
+	for cut := 0; cut < len(data); cut += 7 {
+		pr := NewReader(bytes.NewReader(data[:cut]))
+		pr.Bytes()
+		if !errors.Is(pr.Err(), ErrCorrupt) {
+			t.Fatalf("cut=%d err=%v", cut, pr.Err())
+		}
+	}
+}
+
+func TestReaderImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	pw.Uint64(1 << 62) // absurd length prefix
+	pw.Flush()
+	pr := NewReader(&buf)
+	if b := pr.Bytes(); b != nil || !errors.Is(pr.Err(), ErrCorrupt) {
+		t.Fatalf("b=%v err=%v", b, pr.Err())
+	}
+}
+
+func TestReaderErrorSticks(t *testing.T) {
+	pr := NewReader(bytes.NewReader(nil))
+	pr.Uint64()
+	first := pr.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	pr.Int32s()
+	if pr.Err() != first {
+		t.Fatal("error did not stick")
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf, "MAGIC!", 3)
+	fw.Section(1, func(pw *Writer) { pw.String("one") })
+	fw.Section(9, func(pw *Writer) { pw.Int(99) })
+	fw.Section(2, func(pw *Writer) { pw.Words([]uint64{5, 6}) })
+	n, err := fw.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Close reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	fr, err := NewFileReader(&buf, "MAGIC!", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Version() != 3 {
+		t.Fatalf("version=%d", fr.Version())
+	}
+	id, pr, err := fr.Next()
+	if err != nil || id != 1 || pr.String() != "one" {
+		t.Fatalf("section 1: id=%d err=%v", id, err)
+	}
+	// Section 9 is "unknown": skip it without reading the payload.
+	id, _, err = fr.Next()
+	if err != nil || id != 9 {
+		t.Fatalf("section 9: id=%d err=%v", id, err)
+	}
+	id, pr, err = fr.Next()
+	if err != nil || id != 2 {
+		t.Fatalf("section 2: id=%d err=%v", id, err)
+	}
+	if w := pr.Words(); len(w) != 2 || w[0] != 5 {
+		t.Fatalf("section 2 payload: %v", w)
+	}
+	id, _, err = fr.Next()
+	if err != nil || id != 0 {
+		t.Fatalf("end: id=%d err=%v", id, err)
+	}
+}
+
+func TestContainerBadHeader(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf, "MAGIC!", 2)
+	fw.Section(1, func(pw *Writer) { pw.Int(1) })
+	fw.Close()
+	data := buf.Bytes()
+
+	if _, err := NewFileReader(bytes.NewReader([]byte("WRONG!....")), "MAGIC!", 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := NewFileReader(bytes.NewReader(data), "MAGIC!", 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: %v", err)
+	}
+	if _, err := NewFileReader(bytes.NewReader(data[:3]), "MAGIC!", 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated magic: %v", err)
+	}
+}
+
+func TestContainerTruncatedSection(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf, "MAGIC!", 1)
+	fw.Section(1, func(pw *Writer) { pw.Bytes(make([]byte, 500)) })
+	fw.Section(2, func(pw *Writer) { pw.Int(2) })
+	fw.Close()
+	data := buf.Bytes()
+	// Every proper prefix of the stream must surface ErrCorrupt somewhere —
+	// at the header, at a section header, or inside a payload read.
+	for cut := 0; cut < len(data); cut++ {
+		fr, err := NewFileReader(bytes.NewReader(data[:cut]), "MAGIC!", 1)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut=%d header err=%v", cut, err)
+			}
+			continue
+		}
+		detected := false
+		for {
+			id, pr, err := fr.Next()
+			if err != nil {
+				detected = errors.Is(err, ErrCorrupt)
+				break
+			}
+			if id == 0 {
+				break
+			}
+			pr.Bytes() // drive a payload read into the cut
+			if pr.Err() != nil {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			t.Fatalf("cut=%d: truncation not detected", cut)
+		}
+	}
+}
+
+// limitedWriter fails after n bytes, exercising the write-error path.
+type limitedWriter struct{ n int }
+
+func (lw *limitedWriter) Write(p []byte) (int, error) {
+	if lw.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	k := min(len(p), lw.n)
+	lw.n -= k
+	if k < len(p) {
+		return k, io.ErrClosedPipe
+	}
+	return k, nil
+}
+
+func TestWriterErrorSticks(t *testing.T) {
+	pw := NewWriter(&limitedWriter{n: 4})
+	pw.Words(make([]uint64, 1<<16))
+	if err := pw.Flush(); err == nil {
+		t.Fatal("expected write error")
+	}
+	if pw.Err() == nil {
+		t.Fatal("Err not sticky")
+	}
+}

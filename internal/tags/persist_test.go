@@ -1,0 +1,70 @@
+package tags
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+func TestSequenceSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct{ n, ids int }{
+		{0, 1}, {1, 1}, {100, 2}, {1000, 17}, {4096, 300},
+	} {
+		ids := make([]int32, tc.n)
+		for i := range ids {
+			ids[i] = int32(rng.Intn(tc.ids))
+		}
+		s := Build(ids, tc.ids)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("n=%d ids=%d: %v", tc.n, tc.ids, err)
+		}
+		if got.Len() != s.Len() || got.NumIDs() != s.NumIDs() {
+			t.Fatalf("dimensions")
+		}
+		for i := 0; i < tc.n; i++ {
+			if got.Access(i) != ids[i] {
+				t.Fatalf("Access(%d)", i)
+			}
+		}
+		for id := int32(0); int(id) < tc.ids; id++ {
+			if got.Count(id) != s.Count(id) {
+				t.Fatalf("Count(%d)", id)
+			}
+			for p := 0; p <= tc.n; p += 1 + tc.n/53 {
+				if got.Rank(id, p) != s.Rank(id, p) {
+					t.Fatalf("Rank(%d,%d)", id, p)
+				}
+				if got.NextOccurrence(id, p) != s.NextOccurrence(id, p) {
+					t.Fatalf("NextOccurrence(%d,%d)", id, p)
+				}
+			}
+		}
+	}
+}
+
+func TestSequenceLoadCorrupt(t *testing.T) {
+	s := Build([]int32{0, 1, 2, 1, 0, 3}, 4)
+	var buf bytes.Buffer
+	s.Save(&buf)
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Load(bytes.NewReader(data[:cut])); !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("cut=%d err=%v", cut, err)
+		}
+	}
+	// Width inconsistent with the id space.
+	bad := append([]byte(nil), data...)
+	bad[17] = 33 // width field (format byte + n + maxTagID)
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatalf("bad width: %v", err)
+	}
+}

@@ -65,6 +65,22 @@ func New(s []byte) *Tree {
 	for _, c := range s {
 		t.counts[c]++
 	}
+	if t.buildShape() {
+		// Build bitmap nodes: one pass over s per level would be ideal; we do
+		// a single pass distributing each symbol along its code path using
+		// append-only vectors.
+		t.fill(s)
+		t.freeze(t.root)
+	}
+	return t
+}
+
+// buildShape constructs the Huffman tree shape and the code table from the
+// symbol counts alone. The construction is deterministic in the counts
+// (symbols enter the heap in increasing order, ties break on insertion
+// order), which lets the loader recreate the identical shape without the
+// shape ever being stored. It reports whether the tree is non-empty.
+func (t *Tree) buildShape() bool {
 	// Collect present symbols.
 	var syms []int
 	for c, cnt := range t.counts {
@@ -74,25 +90,17 @@ func New(s []byte) *Tree {
 	}
 	sort.Ints(syms)
 	if len(syms) == 0 {
-		return t
+		return false
 	}
-	// Build Huffman tree shape over an arena.
-	arena := []arenaNode{}
+	// Build Huffman tree shape over an arena, with explicit arena indices in
+	// the heap items.
+	arena := make([]arenaNode, 0, 2*len(syms))
 	h := &hHeap{}
-	order := 0
 	for _, c := range syms {
 		arena = append(arena, arenaNode{sym: c, left: -1, right: -1})
-		heap.Push(h, hItem{weight: t.counts[c], sym: c, left: -1, right: -1, order: order})
-		order++
-		// record arena index in the pushed item via convention: item for a
-		// leaf refers to arena index len(arena)-1 through its order below.
+		heap.Push(h, hItem{weight: t.counts[c], sym: len(arena) - 1, left: -1, right: -1, order: len(arena) - 1})
 	}
-	// We need arena indices inside heap items; rebuild with explicit idx.
-	*h = (*h)[:0]
-	for i, an := range arena {
-		heap.Push(h, hItem{weight: t.counts[an.sym], sym: i, left: -1, right: -1, order: i})
-	}
-	order = len(arena)
+	order := len(arena)
 	for h.Len() > 1 {
 		a := heap.Pop(h).(hItem)
 		b := heap.Pop(h).(hItem)
@@ -101,15 +109,9 @@ func New(s []byte) *Tree {
 		order++
 	}
 	rootIdx := heap.Pop(h).(hItem).sym
-	// Assign codes by DFS.
 	t.assignCodes(arena, rootIdx, 0, 0)
-	// Build bitmap nodes: one pass over s per level would be ideal; we do a
-	// single pass distributing each symbol along its code path using
-	// append-only vectors.
 	t.root = t.buildNode(arena, rootIdx)
-	t.fill(s)
-	t.freeze(t.root)
-	return t
+	return true
 }
 
 func (t *Tree) assignCodes(arena []arenaNode, idx int, prefix uint64, depth uint8) {

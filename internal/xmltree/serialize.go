@@ -1,338 +1,307 @@
 package xmltree
 
 import (
-	"bufio"
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 
 	"repro/internal/bitvec"
 	"repro/internal/bp"
 	"repro/internal/fmindex"
+	"repro/internal/persist"
 	"repro/internal/tags"
 )
 
-// Index persistence (Section 6.2, Figure 8): the on-disk format stores the
-// raw components (parenthesis bits, tag ids, texts, BWT and samples) so
-// that loading only rebuilds linear-time directory structures and skips
-// suffix sorting entirely. Loading is therefore much faster than indexing,
-// which is the behaviour Figure 8 reports.
+// Index persistence (Section 6.2, Figure 8). The on-disk format is a
+// persist container — magic number, format version, and one length-framed
+// section per component — holding each structure's own serialization:
+//
+//	names   the label table
+//	tree    balanced parentheses (package bp)
+//	tags    the tag sequence (package tags)
+//	leaves  the text-leaf bitmap and text count
+//	texts   the plain text store (always present: it is the document)
+//	fm      the FM-index (package fmindex), if built
+//
+// Loading never re-runs suffix sorting — the dominant construction cost —
+// and only rebuilds linear-time directories (rank structures, tag rows,
+// the per-tag planner tables), which is why loading a saved index is an
+// order of magnitude faster than indexing (the Figure 8 gap). Unknown
+// sections are skipped by their recorded length, and a version bump is
+// reported as an error before any payload is interpreted, so future layout
+// changes are detected rather than silently misread.
 
-var indexMagic = [8]byte{'S', 'X', 'S', 'I', 'G', 'O', '0', '1'}
+// Magic and version of the index container. The magic is shared with the
+// CLI's format sniffing; the version is bumped on any layout change.
+const (
+	IndexMagic   = "SXSIGO"
+	indexVersion = 2
+)
 
-// ErrBadIndexFile reports a corrupted or incompatible index file.
-var ErrBadIndexFile = errors.New("xmltree: bad index file")
+// Section identifiers of the container.
+const (
+	secNames uint32 = iota + 1
+	secTree
+	secTags
+	secLeaves
+	secTexts
+	secFM
+	secTagTables
+)
 
-type countWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (cw *countWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.n += int64(n)
-	return n, err
-}
+// ErrBadIndexFile reports a corrupted or incompatible index file. It is an
+// alias of the persistence layer's corruption error, so both
+// errors.Is(err, ErrBadIndexFile) and errors.Is(err, persist.ErrCorrupt)
+// match.
+var ErrBadIndexFile = persist.ErrCorrupt
 
 // WriteTo serializes the index. It returns the number of bytes written.
 func (d *Doc) WriteTo(w io.Writer) (int64, error) {
-	cw := &countWriter{w: w}
-	bw := bufio.NewWriter(cw)
-	if _, err := bw.Write(indexMagic[:]); err != nil {
-		return cw.n, err
-	}
-	// Names.
-	writeInt(bw, len(d.names))
-	for _, s := range d.names {
-		writeBytes(bw, []byte(s))
-	}
-	// Parenthesis bits.
-	writeInt(bw, d.Par.Len())
-	writeWords(bw, parWords(d.Par))
-	// Tag ids (re-materialized).
-	writeInt(bw, d.Tag.Len())
-	for i := 0; i < d.Tag.Len(); i++ {
-		writeInt32(bw, d.Tag.Access(i))
-	}
-	// Leaf positions.
-	writeInt(bw, d.nText)
-	for id := 0; id < d.nText; id++ {
-		writeInt(bw, d.leafB.Select1(id))
-	}
-	// Plain texts (always stored: they are the document's content).
-	for id := 0; id < d.nText; id++ {
-		writeBytes(bw, d.Text(id))
-	}
-	// FM parts.
-	if d.FM != nil {
-		writeInt(bw, 1)
-		p := d.FM.Parts()
-		writeBytes(bw, p.BWT)
-		writeInt32s(bw, p.Doc)
-		writeInt32s(bw, p.Lens)
-		writeInt(bw, p.SampleRate)
-		writeInt(bw, p.BSLen)
-		writeWords(bw, p.BSWords)
-		writeInt32s(bw, p.PS)
-	} else {
-		writeInt(bw, 0)
-	}
-	if err := bw.Flush(); err != nil {
-		return cw.n, err
-	}
-	return cw.n, nil
-}
-
-func parWords(p *bp.Parens) []uint64 {
-	// The Parens bit vector is reachable through Rank/Select; re-derive the
-	// raw words from bit queries to keep bp's internals private.
-	n := p.Len()
-	words := make([]uint64, (n+63)/64)
-	for i := 0; i < n; i++ {
-		if p.IsOpen(i) {
-			words[i>>6] |= 1 << uint(i&63)
+	fw := persist.NewFileWriter(w, IndexMagic, indexVersion)
+	fw.Section(secNames, func(pw *persist.Writer) {
+		pw.Int(len(d.names))
+		for _, s := range d.names {
+			pw.String(s)
 		}
+	})
+	fw.Section(secTree, func(pw *persist.Writer) { d.Par.Store(pw) })
+	fw.Section(secTags, func(pw *persist.Writer) { d.Tag.Store(pw) })
+	fw.Section(secLeaves, func(pw *persist.Writer) {
+		pw.Int(d.nText)
+		d.leafB.Store(pw)
+	})
+	fw.Section(secTexts, func(pw *persist.Writer) {
+		// One blob plus cumulative end offsets (64-bit: text collections are
+		// not bounded to 2 GiB here): the loader restores the collection
+		// with a single allocation and d subslices.
+		pw.Int(d.nText)
+		total := uint64(0)
+		offs := make([]uint64, d.nText)
+		for id := 0; id < d.nText; id++ {
+			total += uint64(len(d.Text(id)))
+			offs[id] = total
+		}
+		pw.Words(offs)
+		pw.Uint64(total)
+		for id := 0; id < d.nText; id++ {
+			pw.Raw(d.Text(id))
+		}
+	})
+	if d.FM != nil {
+		fw.Section(secFM, func(pw *persist.Writer) { d.FM.Store(pw) })
 	}
-	return words
+	fw.Section(secTagTables, func(pw *persist.Writer) { d.storeTagTables(pw) })
+	return fw.Close()
 }
 
 // ReadIndex deserializes an index written by WriteTo. The plain-text store
 // is kept unless opts.SkipPlain is set; opts.Builder overrides the FM rank
-// sequence as in Parse.
+// sequence as in Parse; with opts.SkipFM the FM section is skipped
+// entirely without being decoded.
 func ReadIndex(rd io.Reader, opts Options) (*Doc, error) {
-	br := bufio.NewReader(rd)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	fr, err := persist.NewFileReader(rd, IndexMagic, indexVersion)
+	if err != nil {
 		return nil, err
-	}
-	if magic != indexMagic {
-		return nil, ErrBadIndexFile
 	}
 	d := &Doc{nameID: map[string]int32{}}
-	nNames, err := readInt(br)
-	if err != nil {
-		return nil, err
-	}
-	if nNames < 4 || nNames > 1<<26 {
-		return nil, ErrBadIndexFile
-	}
-	for i := 0; i < nNames; i++ {
-		b, err := readBytes(br)
+	var texts [][]byte
+	haveTexts, haveTables := false, false
+	for {
+		id, pr, err := fr.Next()
 		if err != nil {
 			return nil, err
 		}
-		d.names = append(d.names, string(b))
-		d.nameID[string(b)] = int32(i)
-	}
-	// Parens.
-	parLen, err := readInt(br)
-	if err != nil {
-		return nil, err
-	}
-	words, err := readWords(br, (parLen+63)/64)
-	if err != nil {
-		return nil, err
-	}
-	pv := bitvec.New(parLen)
-	copy(pv.Words(), words)
-	pv.Build()
-	d.Par = bp.New(pv)
-	// Tags.
-	tagLen, err := readInt(br)
-	if err != nil {
-		return nil, err
-	}
-	if tagLen != parLen {
-		return nil, ErrBadIndexFile
-	}
-	ids := make([]int32, tagLen)
-	for i := range ids {
-		v, err := readInt32(br)
-		if err != nil {
-			return nil, err
+		if id == 0 {
+			break
 		}
-		if int(v) >= 2*nNames || v < 0 {
-			return nil, ErrBadIndexFile
+		switch id {
+		case secNames:
+			n := pr.Int()
+			if err := pr.Check(n >= 4 && n <= 1<<26, "implausible name count"); err != nil {
+				return nil, err
+			}
+			d.names = make([]string, 0, min(n, 1<<16))
+			for i := 0; i < n; i++ {
+				s := pr.String()
+				if pr.Err() != nil {
+					return nil, pr.Err()
+				}
+				d.names = append(d.names, s)
+				d.nameID[s] = int32(i)
+			}
+			if err := pr.Check(len(d.nameID) == n, "duplicate label name"); err != nil {
+				return nil, err
+			}
+		case secTree:
+			if d.Par = bp.Read(pr); d.Par == nil {
+				return nil, pr.Err()
+			}
+		case secTags:
+			if d.Tag = tags.Read(pr); d.Tag == nil {
+				return nil, pr.Err()
+			}
+		case secLeaves:
+			d.nText = pr.Int()
+			if d.leafB = bitvec.ReadVector(pr); d.leafB == nil {
+				return nil, pr.Err()
+			}
+		case secTexts:
+			n := pr.Int()
+			offs := pr.Words()
+			total := pr.Int()
+			if pr.Err() != nil {
+				return nil, pr.Err()
+			}
+			if err := pr.Check(len(offs) == n, "text offset count mismatch"); err != nil {
+				return nil, err
+			}
+			prev := uint64(0)
+			for _, o := range offs {
+				if err := pr.Check(o >= prev, "text offsets not monotone"); err != nil {
+					return nil, err
+				}
+				prev = o
+			}
+			if err := pr.Check(prev == uint64(total), "text blob length mismatch"); err != nil {
+				return nil, err
+			}
+			blob := pr.Raw(total)
+			if pr.Err() != nil {
+				return nil, pr.Err()
+			}
+			texts = make([][]byte, n)
+			start := uint64(0)
+			for i, o := range offs {
+				texts[i] = blob[start:o:o]
+				start = o
+			}
+			haveTexts = true
+		case secFM:
+			if opts.SkipFM {
+				continue // skipped by section length, never decoded
+			}
+			fm := fmindex.Read(pr, opts.Builder)
+			if fm == nil {
+				return nil, pr.Err()
+			}
+			d.FM = fm
+		case secTagTables:
+			if err := d.readTagTables(pr); err != nil {
+				return nil, err
+			}
+			haveTables = true
+		default:
+			// Unknown section from a future minor revision: skip.
 		}
-		ids[i] = v
 	}
-	d.Tag = tags.Build(ids, 2*nNames)
-	// Leaves.
-	nText, err := readInt(br)
-	if err != nil {
-		return nil, err
+	return d.assemble(texts, haveTexts, haveTables, opts)
+}
+
+// storeTagTables serializes the derived per-tag planner tables, so loading
+// can skip the whole-document traversal of buildTagTables.
+func (d *Doc) storeTagTables(pw *persist.Writer) {
+	nTags := len(d.names)
+	pw.Int(nTags)
+	pw.Int32s(d.tagCount)
+	pure := make([]byte, nTags)
+	for i, p := range d.pureText {
+		if p {
+			pure[i] = 1
+		}
 	}
-	d.nText = nText
-	lb := bitvec.New(parLen)
-	for i := 0; i < nText; i++ {
-		p, err := readInt(br)
-		if err != nil {
-			return nil, err
+	pw.Bytes(pure)
+	pw.Int32s(d.minClose)
+	pw.Int32s(d.maxOpen)
+	for _, tbl := range [][]tagSet{d.childTags, d.descTags, d.follSibTags, d.follTags} {
+		for _, row := range tbl {
+			pw.Words(row)
 		}
-		if p < 0 || p >= parLen {
-			return nil, ErrBadIndexFile
-		}
-		lb.Set(p)
 	}
-	lb.Build()
-	d.leafB = lb
-	// Texts.
-	texts := make([][]byte, nText)
-	for i := range texts {
-		b, err := readBytes(br)
-		if err != nil {
-			return nil, err
+}
+
+// readTagTables restores the tables written by storeTagTables. Dimension
+// consistency against the other sections is checked in assemble.
+func (d *Doc) readTagTables(pr *persist.Reader) error {
+	nTags := pr.Int()
+	d.tagCount = pr.Int32s()
+	pure := pr.Bytes()
+	d.minClose = pr.Int32s()
+	d.maxOpen = pr.Int32s()
+	if pr.Err() != nil {
+		return pr.Err()
+	}
+	ok := len(d.tagCount) == nTags && len(pure) == nTags &&
+		len(d.minClose) == nTags && len(d.maxOpen) == nTags
+	if err := pr.Check(ok, "tag table dimensions mismatch"); err != nil {
+		return err
+	}
+	d.pureText = make([]bool, nTags)
+	for i, b := range pure {
+		d.pureText[i] = b != 0
+	}
+	wlen := (nTags + 63) / 64
+	for _, tbl := range []*[]tagSet{&d.childTags, &d.descTags, &d.follSibTags, &d.follTags} {
+		rows := make([]tagSet, nTags)
+		for i := range rows {
+			w := pr.Words()
+			if pr.Err() != nil {
+				return pr.Err()
+			}
+			if err := pr.Check(len(w) == wlen, "tag table row width mismatch"); err != nil {
+				return err
+			}
+			rows[i] = w
 		}
-		texts[i] = b
+		*tbl = rows
+	}
+	return nil
+}
+
+// assemble cross-validates the decoded sections, fills the redundant
+// parts, and runs the derived-table construction.
+func (d *Doc) assemble(texts [][]byte, haveTexts, haveTables bool, opts Options) (*Doc, error) {
+	if d.names == nil || d.Par == nil || d.Tag == nil || d.leafB == nil || !haveTexts {
+		return nil, fmt.Errorf("%w: missing a required section", ErrBadIndexFile)
+	}
+	n := d.Par.Len()
+	ok := d.Tag.Len() == n &&
+		d.Tag.NumIDs() == 2*len(d.names) &&
+		d.leafB.Len() == n &&
+		d.leafB.Ones() == d.nText &&
+		len(texts) == d.nText
+	if !ok {
+		return nil, fmt.Errorf("%w: sections are inconsistent", ErrBadIndexFile)
+	}
+	// Every leaf position must hold an opening parenthesis. Iterate the set
+	// bits directly; per-id Select1 would dominate the whole load.
+	for wi, w := range d.leafB.Words() {
+		for w != 0 {
+			p := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if !d.Par.IsOpen(p) {
+				return nil, fmt.Errorf("%w: text leaf at closing parenthesis", ErrBadIndexFile)
+			}
+		}
 	}
 	if !opts.SkipPlain {
 		d.Plain = texts
 	}
-	// FM.
-	hasFM, err := readInt(br)
-	if err != nil {
-		return nil, err
-	}
-	if hasFM == 1 {
-		var p fmindex.Parts
-		if p.BWT, err = readBytes(br); err != nil {
-			return nil, err
+	switch {
+	case d.FM != nil:
+		if d.FM.NumTexts() != d.nText {
+			return nil, fmt.Errorf("%w: FM-index text count mismatch", ErrBadIndexFile)
 		}
-		if p.Doc, err = readInt32s(br); err != nil {
-			return nil, err
-		}
-		if p.Lens, err = readInt32s(br); err != nil {
-			return nil, err
-		}
-		if p.SampleRate, err = readInt(br); err != nil {
-			return nil, err
-		}
-		if p.BSLen, err = readInt(br); err != nil {
-			return nil, err
-		}
-		if p.BSWords, err = readWords(br, (p.BSLen+63)/64); err != nil {
-			return nil, err
-		}
-		if p.PS, err = readInt32s(br); err != nil {
-			return nil, err
-		}
-		fm, err := fmindex.NewFromParts(p, opts.Builder)
-		if err != nil {
-			return nil, err
-		}
-		d.FM = fm
-	} else if !opts.SkipFM {
-		// The file has no FM-index but the caller wants one: rebuild it.
+	case !opts.SkipFM:
+		// The file carries no FM-index but the caller wants one: rebuild it.
 		fm, err := fmindex.New(texts, fmindex.Options{SampleRate: opts.SampleRate, Builder: opts.Builder})
 		if err != nil {
 			return nil, err
 		}
 		d.FM = fm
 	}
+	if haveTables && len(d.tagCount) == len(d.names) {
+		return d, nil // the stored tables match this document's tag space
+	}
 	d.buildTagTables()
 	return d, nil
-}
-
-// --- primitive encoding helpers ---
-
-func writeInt(w io.Writer, v int) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(v))
-	w.Write(b[:])
-}
-
-func writeInt32(w io.Writer, v int32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], uint32(v))
-	w.Write(b[:])
-}
-
-func writeBytes(w io.Writer, b []byte) {
-	writeInt(w, len(b))
-	w.Write(b)
-}
-
-func writeWords(w io.Writer, words []uint64) {
-	writeInt(w, len(words))
-	var b [8]byte
-	for _, x := range words {
-		binary.LittleEndian.PutUint64(b[:], x)
-		w.Write(b[:])
-	}
-}
-
-func writeInt32s(w io.Writer, xs []int32) {
-	writeInt(w, len(xs))
-	for _, x := range xs {
-		writeInt32(w, x)
-	}
-}
-
-func readInt(r io.Reader) (int, error) {
-	var b [8]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
-	}
-	v := int64(binary.LittleEndian.Uint64(b[:]))
-	if v < 0 || v > 1<<40 {
-		return 0, ErrBadIndexFile
-	}
-	return int(v), nil
-}
-
-func readInt32(r io.Reader) (int32, error) {
-	var b [4]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
-	}
-	return int32(binary.LittleEndian.Uint32(b[:])), nil
-}
-
-func readBytes(r io.Reader) ([]byte, error) {
-	n, err := readInt(r)
-	if err != nil {
-		return nil, err
-	}
-	if n > 1<<32 {
-		return nil, ErrBadIndexFile
-	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
-		return nil, err
-	}
-	return b, nil
-}
-
-func readInt32s(r io.Reader) ([]int32, error) {
-	n, err := readInt(r)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]int32, n)
-	for i := range out {
-		if out[i], err = readInt32(r); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-func readWords(r io.Reader, n int) ([]uint64, error) {
-	m, err := readInt(r)
-	if err != nil {
-		return nil, err
-	}
-	if m != n {
-		return nil, fmt.Errorf("%w: word count %d != %d", ErrBadIndexFile, m, n)
-	}
-	out := make([]uint64, n)
-	var b [8]byte
-	for i := range out {
-		if _, err := io.ReadFull(r, b[:]); err != nil {
-			return nil, err
-		}
-		out[i] = binary.LittleEndian.Uint64(b[:])
-	}
-	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 )
@@ -73,6 +74,108 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if s1.String() != s2.String() {
 		t.Fatal("serialization differs after reload")
+	}
+}
+
+// TestLoadFasterThanBuild pins the point of the persistence layer: loading
+// a saved index must beat rebuilding by at least an order of magnitude,
+// because loading skips parsing and suffix sorting entirely (Figure 8).
+func TestLoadFasterThanBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	data := gen.XMark(7, 2_000_000)
+	idx, err := Build(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	build := func() {
+		if _, err := Build(data, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := func() {
+		if _, err := Load(bytes.NewReader(saved), Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	timeIt := func(f func()) time.Duration {
+		start := time.Now()
+		f()
+		return time.Since(start)
+	}
+	// Warm up once, then take the best of three to damp scheduler noise.
+	build()
+	load()
+	best := func(f func()) time.Duration {
+		b := timeIt(f)
+		for i := 0; i < 2; i++ {
+			if d := timeIt(f); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	tb, tl := best(build), best(load)
+	t.Logf("build=%v load=%v ratio=%.1fx", tb, tl, float64(tb)/float64(tl))
+	// Locally the ratio is well above 10x (see BenchmarkBuild/BenchmarkLoad
+	// for the headline numbers); the hard gate here is looser so noisy
+	// shared CI runners do not fail spuriously.
+	if tl*5 > tb {
+		t.Fatalf("load (%v) is not 5x faster than build (%v)", tl, tb)
+	}
+}
+
+// TestLoadedIndexIdenticalOutput is the build-once/serve-many contract:
+// the saved-then-loaded index must produce byte-identical query output to
+// the freshly built one, across result serialization, counting, and node
+// materialization.
+func TestLoadedIndexIdenticalOutput(t *testing.T) {
+	data := gen.Medline(5, 200_000)
+	fresh, err := Build(data, Config{SampleRate: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := fresh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), Config{SampleRate: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"//MedlineCitation",
+		"//Author/LastName",
+		"//Article[Journal]//Title",
+		"//PMID",
+	}
+	for _, q := range queries {
+		var s1, s2 bytes.Buffer
+		k1, err1 := fresh.Serialize(q, &s1)
+		k2, err2 := loaded.Serialize(q, &s2)
+		if err1 != nil || err2 != nil || k1 != k2 {
+			t.Fatalf("%s: k=%d/%d err=%v/%v", q, k1, k2, err1, err2)
+		}
+		if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+			t.Fatalf("%s: serialized output differs", q)
+		}
+		n1, _ := fresh.Nodes(q)
+		n2, _ := loaded.Nodes(q)
+		if len(n1) != len(n2) {
+			t.Fatalf("%s: node count differs", q)
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatalf("%s: node %d differs", q, i)
+			}
+		}
 	}
 }
 
