@@ -6,6 +6,7 @@
 //	sxsi query -i doc.sxsi '//listitem//keyword' load the index, serialize results
 //	sxsi count -i doc.sxsi '//keyword'           load the index, print the count
 //	sxsi stats -i doc.sxsi                       index statistics
+//	sxsi serve -dir ./indexes -addr :8080        serve a directory over HTTP
 //
 // Query and count accept either a saved index (loaded, skipping the
 // suffix-sort construction cost) or a raw XML file (indexed on the fly);
@@ -21,7 +22,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/collection"
 	"repro/internal/core"
+	"repro/internal/service"
 )
 
 func main() {
@@ -35,6 +38,10 @@ func main() {
 	q := fs.String("q", "", "XPath query (may also be given positionally)")
 	sample := fs.Int("sample", 64, "FM-index sampling rate l")
 	rl := fs.Bool("rl", false, "use the run-length text index (repetitive data)")
+	addr := fs.String("addr", ":8080", "listen address (for 'serve')")
+	dir := fs.String("dir", "", "document directory (for 'serve')")
+	workers := fs.Int("workers", 0, "worker pool size for 'serve' (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 0, "compiled-query LRU capacity for 'serve'")
 	fs.StringVar(in, "in", "", "alias of -i")
 	fs.StringVar(out, "out", "", "alias of -o")
 	fs.Parse(os.Args[2:])
@@ -42,10 +49,19 @@ func main() {
 		*q = fs.Arg(0)
 	}
 
+	cfg := core.Config{SampleRate: *sample, RunLength: *rl}
+	if cmd == "serve" {
+		if *dir == "" {
+			fatal("missing -dir document directory")
+		}
+		ccfg := collection.Config{Workers: *workers, CacheSize: *cacheSize, Index: cfg}
+		check(service.Run(*addr, *dir, ccfg, os.Stderr))
+		return
+	}
+
 	if *in == "" {
 		fatal("missing -i input file")
 	}
-	cfg := core.Config{SampleRate: *sample, RunLength: *rl}
 
 	switch cmd {
 	case "build", "index":
@@ -106,8 +122,10 @@ commands:
   query  -i doc.sxsi 'XPATH'        evaluate and serialize result subtrees
   count  -i doc.sxsi 'XPATH'        evaluate in counting mode
   stats  -i doc.sxsi                print index statistics
+  serve  -dir DIR [-addr :8080]     serve a directory of documents over HTTP
 
-flags: -sample N (FM sampling rate), -rl (run-length text index)`)
+flags: -sample N (FM sampling rate), -rl (run-length text index),
+       -workers N / -cache N (serve worker pool and query-cache size)`)
 	os.Exit(2)
 }
 

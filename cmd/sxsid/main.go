@@ -1,0 +1,45 @@
+// Command sxsid is the SXSI query daemon: it bulk-loads a directory of
+// saved indexes (.sxsi) and raw XML documents (.xml, indexed on startup)
+// and serves Core+ XPath queries over HTTP.
+//
+//	sxsid -dir ./indexes -addr :8080
+//
+// Endpoints (see package service):
+//
+//	GET  /healthz                     liveness
+//	GET  /docs                        document list with index statistics
+//	GET  /count?doc=D&q=//a//b        counting mode
+//	GET  /query?doc=D&q=//a//b        serialized results (CLI byte-identical)
+//	POST /query                       JSON batch over the worker pool
+//	GET  /stats[?doc=D]               serving counters / per-index statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "directory of .sxsi indexes and .xml documents to load at startup")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "compiled-query LRU capacity (0 = default, negative disables)")
+	sample := flag.Int("sample", 64, "FM-index sampling rate l for documents built from raw XML")
+	rl := flag.Bool("rl", false, "use the run-length text index (repetitive data)")
+	flag.Parse()
+
+	cfg := collection.Config{
+		Workers:   *workers,
+		CacheSize: *cache,
+		Index:     core.Config{SampleRate: *sample, RunLength: *rl},
+	}
+	if err := service.Run(*addr, *dir, cfg, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sxsid:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,491 @@
+// Package collection is the multi-document serving layer on top of the SXSI
+// engine: a registry of named indexed documents, parallel bulk loading of
+// saved indexes (with build-on-miss for raw XML), a bounded worker-pool
+// batch query API, and an LRU cache of compiled queries. It is the
+// in-process core of the sxsid server (package service); everything here is
+// safe for concurrent use.
+package collection
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/xpath"
+)
+
+// ErrUnknownDoc reports a request against a document name that is not in
+// the collection.
+var ErrUnknownDoc = errors.New("collection: unknown document")
+
+// QueryError wraps a compilation failure (parse error or unsupported
+// fragment): the request itself was bad, as opposed to a server-side
+// evaluation failure. The HTTP layer maps it to 400.
+type QueryError struct{ Err error }
+
+func (e *QueryError) Error() string { return e.Err.Error() }
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// DefaultCacheSize is the compiled-query LRU capacity when Config.CacheSize
+// is zero.
+const DefaultCacheSize = 256
+
+// Config tunes a Collection; the zero value gives sensible defaults.
+type Config struct {
+	// Workers bounds the batch worker pool and the LoadDir loader pool
+	// (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the compiled-query LRU capacity (default
+	// DefaultCacheSize; negative disables caching).
+	CacheSize int
+	// Index configures document building and loading.
+	Index core.Config
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Collection is a registry of named indexed documents with a shared
+// compiled-query cache. All methods are safe for concurrent use.
+type Collection struct {
+	cfg Config
+
+	mu   sync.RWMutex
+	docs map[string]*core.Engine
+
+	cacheMu sync.Mutex
+	cache   *lru // nil when caching is disabled
+
+	queries   atomic.Int64
+	errCount  atomic.Int64
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+}
+
+// New creates an empty collection.
+func New(cfg Config) *Collection {
+	c := &Collection{cfg: cfg, docs: map[string]*core.Engine{}}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size > 0 {
+		c.cache = newLRU(size)
+	}
+	return c
+}
+
+// Add registers (or replaces) a document under name. Replacing a document
+// drops its cached compiled queries.
+func (c *Collection) Add(name string, eng *core.Engine) {
+	c.mu.Lock()
+	c.docs[name] = eng
+	c.mu.Unlock()
+	c.dropCached(name)
+}
+
+// Remove unregisters a document and drops its cached compiled queries; it
+// reports whether the document existed.
+func (c *Collection) Remove(name string) bool {
+	c.mu.Lock()
+	_, ok := c.docs[name]
+	delete(c.docs, name)
+	c.mu.Unlock()
+	c.dropCached(name)
+	return ok
+}
+
+func (c *Collection) dropCached(name string) {
+	if c.cache == nil {
+		return
+	}
+	c.cacheMu.Lock()
+	c.cache.removeDoc(name)
+	c.cacheMu.Unlock()
+}
+
+// Get returns the engine registered under name.
+func (c *Collection) Get(name string) (*core.Engine, bool) {
+	c.mu.RLock()
+	eng, ok := c.docs[name]
+	c.mu.RUnlock()
+	return eng, ok
+}
+
+// Names returns the registered document names, sorted.
+func (c *Collection) Names() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.docs))
+	for n := range c.docs {
+		names = append(names, n)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Open loads the file at path and registers it under name: a saved index
+// (recognized by its magic number) is streamed through core.Load, anything
+// else is treated as raw XML and indexed on the fly (build-on-miss). Only
+// the raw-XML path buffers the whole file; indexes can be multi-GB and are
+// never held as raw bytes.
+func (c *Collection) Open(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(16) // shorter files simply fail the magic check
+	var eng *core.Engine
+	if core.IsIndexData(head) {
+		eng, err = core.Load(br, c.cfg.Index)
+	} else {
+		var data []byte
+		if data, err = io.ReadAll(br); err == nil {
+			eng, err = core.Build(data, c.cfg.Index)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("collection: open %s: %w", path, err)
+	}
+	c.Add(name, eng)
+	return nil
+}
+
+// LoadDir bulk-loads every .sxsi and .xml file directly under dir using
+// Workers parallel loaders; the document name is the file name without its
+// extension, and a saved .sxsi index shadows a same-named .xml source. It
+// returns the sorted names registered; on error (including context
+// cancellation) it still registers the documents already loaded and joins
+// every per-file error.
+func (c *Collection) LoadDir(ctx context.Context, dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths := map[string]string{} // doc name -> file path
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(e.Name())
+		if ext != ".sxsi" && ext != ".xml" {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ext)
+		if prev, ok := paths[name]; ok && filepath.Ext(prev) == ".sxsi" {
+			continue // the saved index wins over the raw source
+		}
+		paths[name] = filepath.Join(dir, e.Name())
+	}
+
+	type job struct{ name, path string }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var errs []error
+	for i := 0; i < c.cfg.workers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := c.Open(j.name, j.path); err != nil {
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for name, path := range paths {
+		select {
+		case jobs <- job{name, path}:
+		case <-ctx.Done():
+			errMu.Lock()
+			errs = append(errs, ctx.Err())
+			errMu.Unlock()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return c.Names(), errors.Join(errs...)
+}
+
+// Compiled returns the compiled form of query against the named document,
+// through the LRU cache. Concurrent misses on the same key may compile the
+// query more than once; all but the last result are dropped, which is
+// harmless because compiled queries are interchangeable and race-free.
+// Compilation failures are returned wrapped in *QueryError.
+func (c *Collection) Compiled(doc, query string) (*xpath.Query, error) {
+	eng, ok := c.Get(doc)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDoc, doc)
+	}
+	if c.cache == nil {
+		return c.compile(eng, query)
+	}
+	k := qkey{doc: doc, query: query}
+	c.cacheMu.Lock()
+	ent, ok := c.cache.get(k)
+	c.cacheMu.Unlock()
+	// An entry compiled against a different engine is stale: its insertion
+	// raced with a replacement of the document (compile started before the
+	// replacement, cache.add landed after dropCached). Treat it as a miss
+	// and overwrite, so a re-registered name never serves old results.
+	if ok && ent.eng == eng {
+		c.cacheHits.Add(1)
+		return ent.q, nil
+	}
+	c.cacheMiss.Add(1)
+	q, err := c.compile(eng, query)
+	if err != nil {
+		return nil, err
+	}
+	c.cacheMu.Lock()
+	c.cache.add(k, cachedQuery{q: q, eng: eng})
+	c.cacheMu.Unlock()
+	return q, nil
+}
+
+func (c *Collection) compile(eng *core.Engine, query string) (*xpath.Query, error) {
+	q, err := eng.Compile(query)
+	if err != nil {
+		return nil, &QueryError{Err: err}
+	}
+	return q, nil
+}
+
+// Mode selects the result semantics of a request.
+type Mode uint8
+
+const (
+	// ModeCount evaluates in counting mode.
+	ModeCount Mode = iota
+	// ModeNodes materializes the result node positions.
+	ModeNodes
+	// ModeSerialize serializes the result subtrees as XML.
+	ModeSerialize
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCount:
+		return "count"
+	case ModeNodes:
+		return "nodes"
+	case ModeSerialize:
+		return "serialize"
+	}
+	return fmt.Sprintf("mode(%d)", m)
+}
+
+// ParseMode resolves the wire names used by the HTTP API.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "count", "":
+		return ModeCount, nil
+	case "nodes":
+		return ModeNodes, nil
+	case "serialize", "query":
+		return ModeSerialize, nil
+	}
+	return 0, fmt.Errorf("collection: unknown mode %q", s)
+}
+
+// Request names one evaluation: a query against a registered document.
+type Request struct {
+	Doc   string
+	Query string
+	Mode  Mode
+}
+
+// Result carries the outcome of one Request. Count is filled in every mode
+// (the number of result nodes); Nodes only in ModeNodes and Output only in
+// ModeSerialize.
+type Result struct {
+	Doc    string
+	Query  string
+	Mode   Mode
+	Count  int64
+	Nodes  []int
+	Output []byte
+	Err    error
+}
+
+// Do evaluates a single request. Every request counts toward
+// Stats.Queries, failed ones (compile errors, unknown documents,
+// evaluation failures) also toward Stats.Errors. An evaluator panic is
+// recovered into the Result's Err: batch workers run outside net/http's
+// per-request recover, and one poisoned query must not take down the
+// daemon and every loaded document with it.
+func (c *Collection) Do(req Request) (res Result) {
+	res = Result{Doc: req.Doc, Query: req.Query, Mode: req.Mode}
+	c.queries.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("collection: internal error evaluating %q on %q: %v", req.Query, req.Doc, r)
+			c.errCount.Add(1)
+		}
+	}()
+	q, err := c.Compiled(req.Doc, req.Query)
+	if err != nil {
+		res.Err = err
+		c.errCount.Add(1)
+		return res
+	}
+	switch req.Mode {
+	case ModeCount:
+		res.Count = q.Count()
+	case ModeNodes:
+		res.Nodes = q.Nodes()
+		res.Count = int64(len(res.Nodes))
+	case ModeSerialize:
+		var buf bytes.Buffer
+		n, err := q.Serialize(&buf)
+		res.Count, res.Output, res.Err = int64(n), buf.Bytes(), err
+		if res.Err != nil {
+			res.Output = nil // never hand out a truncated serialization
+		}
+	default:
+		res.Err = fmt.Errorf("collection: unknown mode %d", req.Mode)
+	}
+	if res.Err != nil {
+		c.errCount.Add(1)
+	}
+	return res
+}
+
+// Serialize evaluates the query on the named document and streams the XML
+// serialization of the result subtrees to w, returning the number of
+// results. Unlike ModeSerialize requests, nothing is buffered — this is
+// the GET /query path, which must handle result sets of any size without
+// materializing them. Nothing is written to w before compilation succeeds,
+// so a returned error with zero results means no bytes were produced.
+func (c *Collection) Serialize(doc, query string, w io.Writer) (n int64, err error) {
+	c.queries.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("collection: internal error evaluating %q on %q: %v", query, doc, r)
+			c.errCount.Add(1)
+		}
+	}()
+	q, err := c.Compiled(doc, query)
+	if err != nil {
+		c.errCount.Add(1)
+		return 0, err
+	}
+	k, err := q.Serialize(w)
+	if err != nil {
+		c.errCount.Add(1)
+	}
+	return int64(k), err
+}
+
+// Query evaluates a batch of requests on a bounded worker pool of
+// Config.Workers goroutines and returns the results in request order. A
+// canceled context stops the remaining work; unstarted requests report
+// ctx.Err().
+func (c *Collection) Query(ctx context.Context, reqs []Request) []Result {
+	out := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	workers := c.cfg.workers()
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	idx := make(chan int)
+	done := make([]bool, len(reqs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = c.Do(reqs[i])
+				done[i] = true
+			}
+		}()
+	}
+	canceled := false
+feed:
+	for i := range reqs {
+		// Checked first because select picks randomly among ready cases: an
+		// idle worker must not keep winning against a canceled context.
+		if ctx.Err() != nil {
+			canceled = true
+			break
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			canceled = true
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if canceled {
+		// Each index is handed to exactly one worker, and the pool has
+		// drained, so done[] is settled: unstarted requests report the
+		// cancellation.
+		for j := range reqs {
+			if !done[j] {
+				out[j] = Result{Doc: reqs[j].Doc, Query: reqs[j].Query, Mode: reqs[j].Mode, Err: ctx.Err()}
+			}
+		}
+	}
+	return out
+}
+
+// Stats is a snapshot of the collection's serving counters.
+type Stats struct {
+	Docs        int   `json:"docs"`
+	Queries     int64 `json:"queries"`
+	Errors      int64 `json:"errors"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheLen    int   `json:"cache_len"`
+}
+
+// Stats reports the current serving counters.
+func (c *Collection) Stats() Stats {
+	s := Stats{
+		Docs:        c.Len(),
+		Queries:     c.queries.Load(),
+		Errors:      c.errCount.Load(),
+		CacheHits:   c.cacheHits.Load(),
+		CacheMisses: c.cacheMiss.Load(),
+	}
+	if c.cache != nil {
+		c.cacheMu.Lock()
+		s.CacheLen = c.cache.len()
+		c.cacheMu.Unlock()
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package collection
+
+import (
+	"container/list"
+
+	"repro/internal/core"
+	"repro/internal/xpath"
+)
+
+// qkey identifies a compiled query: the document name plus the query string.
+type qkey struct {
+	doc   string
+	query string
+}
+
+// lru is a mutex-guarded LRU map of compiled queries. Compiled queries are
+// safe for concurrent evaluation (see xpath.Query), so one cached entry can
+// be handed to any number of goroutines.
+type lru struct {
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[qkey]*list.Element
+}
+
+// cachedQuery pairs a compiled query with the engine it was compiled
+// against, so a lookup can reject entries that raced with a document
+// replacement (see Collection.Compiled).
+type cachedQuery struct {
+	q   *xpath.Query
+	eng *core.Engine
+}
+
+type lruEntry struct {
+	k qkey
+	v cachedQuery
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), m: make(map[qkey]*list.Element)}
+}
+
+// get returns the cached value and marks it most recently used. The caller
+// holds the collection's cache mutex.
+func (c *lru) get(k qkey) (cachedQuery, bool) {
+	e, ok := c.m[k]
+	if !ok {
+		return cachedQuery{}, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).v, true
+}
+
+// add inserts or refreshes an entry, evicting the least recently used entry
+// beyond capacity.
+func (c *lru) add(k qkey, v cachedQuery) {
+	if e, ok := c.m[k]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEntry).v = v
+		return
+	}
+	c.m[k] = c.ll.PushFront(&lruEntry{k: k, v: v})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry).k)
+	}
+}
+
+// removeDoc drops every entry compiled against the named document (called
+// when the document is replaced or removed, so stale bindings cannot be
+// served).
+func (c *lru) removeDoc(doc string) {
+	for e := c.ll.Front(); e != nil; {
+		next := e.Next()
+		if ent := e.Value.(*lruEntry); ent.k.doc == doc {
+			c.ll.Remove(e)
+			delete(c.m, ent.k)
+		}
+		e = next
+	}
+}
+
+func (c *lru) len() int { return c.ll.Len() }

@@ -19,6 +19,16 @@ import (
 )
 
 // Engine is an indexed XML document ready for Core+ XPath queries.
+//
+// Concurrency contract: once built or loaded, an Engine is immutable and
+// safe for concurrent use by any number of goroutines — Compile, Count,
+// Nodes, Serialize and Stats may all run in parallel on one shared Engine.
+// Every evaluation allocates its own scratch state (evaluator memo tables,
+// result buffers), and compiled Queries are themselves safe for concurrent
+// evaluation, so they may be cached and shared across goroutines (package
+// collection does exactly that). Clones made with WithEval or
+// WithQueryOptions share only the immutable index and are safe to use
+// concurrently with their parent.
 type Engine struct {
 	Doc  *xmltree.Doc
 	opts Config
@@ -154,12 +164,12 @@ func (e *Engine) Serialize(query string, w io.Writer) (int, error) {
 // Stats describes the in-memory footprint of the index components
 // (Figure 8's memory column).
 type Stats struct {
-	Nodes      int
-	Texts      int
-	Tags       int
-	TreeBytes  int
-	TextBytes  int // FM-index
-	PlainBytes int
+	Nodes      int `json:"nodes"`
+	Texts      int `json:"texts"`
+	Tags       int `json:"tags"`
+	TreeBytes  int `json:"tree_bytes"`
+	TextBytes  int `json:"text_bytes"` // FM-index
+	PlainBytes int `json:"plain_bytes"`
 }
 
 // Stats reports index statistics.
@@ -175,19 +185,36 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-// EvalOptions returns a copy of the engine's config with the given
-// evaluator option overrides applied (used by the ablation benchmarks).
+// cloneQueryOptions deep-copies the reference-typed parts of query options
+// so an Engine clone never aliases mutable state with its parent: mutating
+// the CustomMatchSets registry of one must not be visible in the other.
+func cloneQueryOptions(o xpath.Options) xpath.Options {
+	if o.CustomMatchSets != nil {
+		m := make(map[string]func(string) []int32, len(o.CustomMatchSets))
+		for name, fn := range o.CustomMatchSets {
+			m[name] = fn
+		}
+		o.CustomMatchSets = m
+	}
+	return o
+}
+
+// WithEval returns a copy of the engine with the given evaluator option
+// overrides applied (used by the ablation benchmarks). The clone shares the
+// immutable index only and is safe to use concurrently with the parent.
 func (e *Engine) WithEval(opts automata.Options) *Engine {
 	cfg := e.opts
+	cfg.Query = cloneQueryOptions(cfg.Query)
 	cfg.Query.Eval = opts
 	return &Engine{Doc: e.Doc, opts: cfg}
 }
 
 // WithQueryOptions returns a copy of the engine using the given query
-// options (planner toggles, custom predicates).
+// options (planner toggles, custom predicates). The clone shares the
+// immutable index only and is safe to use concurrently with the parent.
 func (e *Engine) WithQueryOptions(opts xpath.Options) *Engine {
 	cfg := e.opts
-	cfg.Query = opts
+	cfg.Query = cloneQueryOptions(opts)
 	return &Engine{Doc: e.Doc, opts: cfg}
 }
 

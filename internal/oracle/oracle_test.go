@@ -1,0 +1,133 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/gen"
+	"repro/internal/xpath"
+)
+
+// corpora: five generators with different shapes (attribute-heavy auction
+// data, flat bibliographic records, deep recursion, wiki text, long DNA
+// strings), two seeds each.
+var corpora = []struct {
+	name string
+	data func(seed uint64) []byte
+}{
+	{"xmark", func(s uint64) []byte { return gen.XMark(s, 12<<10) }},
+	{"medline", func(s uint64) []byte { return gen.Medline(s, 12<<10) }},
+	{"treebank", func(s uint64) []byte { return gen.Treebank(s, 8<<10) }},
+	{"wiki", func(s uint64) []byte { return gen.Wiki(s, 12<<10) }},
+	{"bioxml", func(s uint64) []byte { return gen.BioXML(s, 12<<10) }},
+}
+
+// TestDifferential is the differential oracle suite: ≥500 random
+// (document, query) pairs, each evaluated by the succinct engine (default
+// planner and, for a rotating third of the pairs, with the bottom-up plan or
+// the FM-index disabled) and by the naive dom walker; node sets must agree
+// exactly (by preorder number), and Count must agree with the set size.
+func TestDifferential(t *testing.T) {
+	const queriesPerDoc = 60
+	pairs, mismatches := 0, 0
+	for _, c := range corpora {
+		for seed := uint64(1); seed <= 2; seed++ {
+			data := c.data(seed)
+			eng, err := core.Build(data, core.Config{SampleRate: 4})
+			if err != nil {
+				t.Fatalf("%s/%d: build: %v", c.name, seed, err)
+			}
+			tree, err := dom.Parse(data)
+			if err != nil {
+				t.Fatalf("%s/%d: dom: %v", c.name, seed, err)
+			}
+			v := ExtractVocab(tree, 200)
+			if len(v.Tags) == 0 {
+				t.Fatalf("%s/%d: empty vocabulary", c.name, seed)
+			}
+			r := gen.NewRNG(seed * 7919)
+			for i := 0; i < queriesPerDoc; i++ {
+				q := RandomQuery(r, v)
+				e := eng
+				switch i % 3 {
+				case 1:
+					e = eng.WithQueryOptions(xpath.Options{DisableBottomUp: true})
+				case 2:
+					e = eng.WithQueryOptions(xpath.Options{ForceNaiveText: true})
+				}
+				pairs++
+				if !checkOne(t, c.name, e, tree, q) {
+					mismatches++
+					if mismatches > 10 {
+						t.Fatal("too many mismatches, stopping")
+					}
+				}
+			}
+		}
+	}
+	if pairs < 500 {
+		t.Fatalf("only %d differential pairs, want >= 500", pairs)
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d/%d pairs mismatched", mismatches, pairs)
+	}
+	t.Logf("%d differential pairs, zero mismatches", pairs)
+}
+
+func checkOne(t *testing.T, name string, eng *core.Engine, tree *dom.Tree, q string) bool {
+	t.Helper()
+	want, err := tree.Eval(q)
+	if err != nil {
+		t.Errorf("%s: oracle eval %q: %v", name, q, err)
+		return false
+	}
+	got, err := eng.Nodes(q)
+	if err != nil {
+		t.Errorf("%s: engine compile %q: %v", name, q, err)
+		return false
+	}
+	if len(got) != len(want) {
+		t.Errorf("%s: %q: engine %d nodes, oracle %d", name, q, len(got), len(want))
+		return false
+	}
+	for i, x := range got {
+		if eng.Doc.Preorder(x) != want[i].Order {
+			t.Errorf("%s: %q: node %d: engine preorder %d, oracle %d", name, q, i, eng.Doc.Preorder(x), want[i].Order)
+			return false
+		}
+	}
+	n, err := eng.Count(q)
+	if err != nil {
+		t.Errorf("%s: engine count %q: %v", name, q, err)
+		return false
+	}
+	if n != int64(len(want)) {
+		t.Errorf("%s: %q: engine count %d, oracle %d", name, q, n, len(want))
+		return false
+	}
+	return true
+}
+
+// TestGeneratedQueriesAlwaysCompile pins the generator's contract: every
+// query it emits parses and compiles (a parse error on generated input is a
+// generator bug, which would silently shrink the differential suite).
+func TestGeneratedQueriesAlwaysCompile(t *testing.T) {
+	data := gen.XMark(3, 8<<10)
+	eng, err := core.Build(data, core.Config{SampleRate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dom.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ExtractVocab(tree, 100)
+	r := gen.NewRNG(42)
+	for i := 0; i < 500; i++ {
+		q := RandomQuery(r, v)
+		if _, err := eng.Compile(q); err != nil {
+			t.Fatalf("generated query %q does not compile: %v", q, err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/collection"
+)
+
+// Run loads every .sxsi/.xml file under dir into a fresh collection and
+// serves it on addr until the listener fails; it is the shared body of the
+// sxsid daemon and `sxsi serve`. Per-file load failures are logged and the
+// surviving documents are served; Run only fails up front when addr cannot
+// be bound or nothing at all could be loaded from a requested dir.
+func Run(addr, dir string, cfg collection.Config, logw io.Writer) error {
+	c := collection.New(cfg)
+	if dir != "" {
+		start := time.Now()
+		names, err := c.LoadDir(context.Background(), dir)
+		if err != nil {
+			if len(names) == 0 {
+				return fmt.Errorf("load %s: %w", dir, err)
+			}
+			fmt.Fprintf(logw, "warning: some documents failed to load: %v\n", err)
+		}
+		fmt.Fprintf(logw, "loaded %d document(s) in %v: %s\n",
+			len(names), time.Since(start).Round(time.Millisecond), strings.Join(names, " "))
+	}
+	fmt.Fprintf(logw, "listening on %s\n", addr)
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: New(c),
+		// Bound slow clients on both sides so a trickled request or a
+		// slow-reading response consumer cannot pin goroutines and file
+		// descriptors indefinitely. WriteTimeout is the ceiling on one
+		// whole response transfer — streamed GET /query bodies are
+		// unbounded in size but not in time.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,262 @@
+// Package service exposes a collection of indexed documents over HTTP: the
+// sxsid daemon and the `sxsi serve` subcommand are thin wrappers around this
+// handler. The API is JSON except for GET /query, which streams the same
+// bytes the `sxsi query` CLI prints, so the two can be diffed directly:
+//
+//	GET  /healthz           liveness probe
+//	GET  /docs              registered documents with index statistics
+//	GET  /count?doc=D&q=Q   {"doc":D,"query":Q,"count":N}
+//	GET  /query?doc=D&q=Q   serialized result subtrees (CLI byte-identical)
+//	POST /query             {"requests":[{doc,query,mode}]} batch evaluation
+//	GET  /stats?doc=D       index statistics; without doc, serving counters
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+)
+
+// Server is the HTTP front end of a Collection.
+type Server struct {
+	c       *collection.Collection
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds the handler for a collection.
+func New(c *collection.Collection) *Server {
+	s := &Server{c: c, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /docs", s.handleDocs)
+	s.mux.HandleFunc("GET /count", s.handleCount)
+	s.mux.HandleFunc("GET /query", s.handleQueryGet)
+	s.mux.HandleFunc("POST /query", s.handleQueryPost)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Collection returns the served collection.
+func (s *Server) Collection() *collection.Collection { return s.c }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps evaluation errors to HTTP statuses: unknown documents are
+// 404, malformed queries (parse or unsupported-fragment errors, wrapped in
+// *collection.QueryError) are 400, and anything else is a server-side
+// evaluation failure, 500.
+func statusFor(err error) int {
+	if errors.Is(err, collection.ErrUnknownDoc) {
+		return http.StatusNotFound
+	}
+	var qerr *collection.QueryError
+	if errors.As(err, &qerr) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// DocInfo describes one registered document.
+type DocInfo struct {
+	Name string `json:"name"`
+	core.Stats
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	names := s.c.Names()
+	docs := make([]DocInfo, 0, len(names))
+	for _, name := range names {
+		eng, ok := s.c.Get(name)
+		if !ok {
+			continue // removed between Names and Get
+		}
+		docs = append(docs, DocInfo{Name: name, Stats: eng.Stats()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": docs})
+}
+
+// reqParams extracts doc and q, both required.
+func reqParams(r *http.Request) (doc, q string, err error) {
+	doc = r.URL.Query().Get("doc")
+	q = r.URL.Query().Get("q")
+	if doc == "" {
+		return "", "", fmt.Errorf("missing doc parameter")
+	}
+	if q == "" {
+		return "", "", fmt.Errorf("missing q parameter")
+	}
+	return doc, q, nil
+}
+
+type countBody struct {
+	Doc   string `json:"doc"`
+	Query string `json:"query"`
+	Count int64  `json:"count"`
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	doc, q, err := reqParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.c.Do(collection.Request{Doc: doc, Query: q, Mode: collection.ModeCount})
+	if res.Err != nil {
+		writeError(w, statusFor(res.Err), res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, countBody{Doc: doc, Query: q, Count: res.Count})
+}
+
+// handleQueryGet streams the serialized result subtrees — exactly the bytes
+// `sxsi query` writes to stdout for the same document and query. The
+// serialization goes straight to the response writer, so arbitrarily large
+// result sets never buffer in memory (the transfer as a whole is bounded
+// by the server's WriteTimeout). Collection.Serialize writes nothing
+// before compilation succeeds, so errors raised before the first byte
+// still map to a proper status.
+func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+	doc, q, err := reqParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	tw := &trackingWriter{w: w}
+	if _, err := s.c.Serialize(doc, q, tw); err != nil {
+		if !tw.wrote {
+			// Nothing sent yet: writeError replaces the headers set above.
+			writeError(w, statusFor(err), err)
+			return
+		}
+		// Mid-stream failure: abort the connection rather than pretend the
+		// truncated body is a complete result.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// trackingWriter records whether any body byte reached the client, which
+// decides between a clean error response and an aborted connection.
+type trackingWriter struct {
+	w     http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	if len(p) > 0 {
+		t.wrote = true
+	}
+	return t.w.Write(p)
+}
+
+// BatchRequest is the POST /query body.
+type BatchRequest struct {
+	Requests []BatchItem `json:"requests"`
+}
+
+// BatchItem is one request of a batch; mode is "count" (default), "nodes"
+// or "serialize". Serialize results are buffered into the JSON response,
+// so the batch endpoint suits counts and small extractions; stream large
+// result sets through GET /query instead.
+type BatchItem struct {
+	Doc   string `json:"doc"`
+	Query string `json:"query"`
+	Mode  string `json:"mode,omitempty"`
+}
+
+// BatchResult is one result of a batch response.
+type BatchResult struct {
+	Doc    string `json:"doc"`
+	Query  string `json:"query"`
+	Mode   string `json:"mode"`
+	Count  int64  `json:"count"`
+	Nodes  []int  `json:"nodes,omitempty"`
+	Output string `json:"output,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+const maxBatchBody = 16 << 20 // 16 MiB
+
+func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody))
+	if err == nil {
+		err = json.Unmarshal(body, &batch)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		return
+	}
+	reqs := make([]collection.Request, len(batch.Requests))
+	for i, item := range batch.Requests {
+		mode, err := collection.ParseMode(item.Mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		reqs[i] = collection.Request{Doc: item.Doc, Query: item.Query, Mode: mode}
+	}
+	results := s.c.Query(r.Context(), reqs)
+	out := make([]BatchResult, len(results))
+	for i, res := range results {
+		out[i] = BatchResult{
+			Doc:    res.Doc,
+			Query:  res.Query,
+			Mode:   res.Mode.String(),
+			Count:  res.Count,
+			Nodes:  res.Nodes,
+			Output: string(res.Output),
+		}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+type serviceStats struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Collection    collection.Stats `json:"collection"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if doc := r.URL.Query().Get("doc"); doc != "" {
+		eng, ok := s.c.Get(doc)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", collection.ErrUnknownDoc, doc))
+			return
+		}
+		writeJSON(w, http.StatusOK, DocInfo{Name: doc, Stats: eng.Stats()})
+		return
+	}
+	writeJSON(w, http.StatusOK, serviceStats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Collection:    s.c.Stats(),
+	})
+}

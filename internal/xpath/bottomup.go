@@ -2,6 +2,7 @@ package xpath
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/xmltree"
 )
@@ -26,6 +27,18 @@ type buPlan struct {
 	opts      Options
 
 	estMatches int
+
+	// The text match set is deterministic over the immutable document, so
+	// it is computed once per compiled query and shared by all evaluations
+	// (a cached query served concurrently must not repeat the FM locate,
+	// which dominates bottom-up cost).
+	matchOnce sync.Once
+	matches   []int32
+}
+
+func (p *buPlan) matchedSet() []int32 {
+	p.matchOnce.Do(func() { p.matches = matchSet(p.doc, p.opts, p.op, p.fn, p.lit) })
+	return p.matches
 }
 
 // dstep is one downward hop of the predicate path.
@@ -130,7 +143,7 @@ type nodeStep struct{ node, j int }
 // run executes the plan and returns the sorted result node positions.
 func (p *buPlan) run() []int {
 	d := p.doc
-	set := matchSet(d, p.opts, p.op, p.fn, p.lit)
+	set := p.matchedSet()
 	cands := map[int]struct{}{}
 	climbed := map[nodeStep]bool{}
 

@@ -333,7 +333,26 @@ func unescapeLiteral(s string) string {
 type parser struct {
 	toks []token
 	i    int
+	// depth bounds the combined nesting of predicates, parentheses and
+	// sub-paths so pathological inputs (e.g. ten thousand "not(" in a row)
+	// fail with a ParseError instead of exhausting the goroutine stack —
+	// later recursive passes (normalize, compile, the dom oracle) then
+	// inherit the same bound.
+	depth int
 }
+
+// maxParseDepth is far beyond any real query but well within stack limits.
+const maxParseDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return &ParseError{Pos: p.cur().pos, Msg: "query nesting too deep"}
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // ParseQuery parses a Core+ query.
 func ParseQuery(src string) (*Path, error) {
@@ -365,6 +384,10 @@ func (p *parser) errf(format string, args ...any) error {
 // slash is implied; inside predicates a leading "./" or ".//" or bare step
 // makes the path relative (the same thing for our evaluation model).
 func (p *parser) parsePath(top bool) (*Path, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	path := &Path{}
 	nextAxis := AxisChild
 	// Optional leading ./ or . for relative paths.
@@ -487,6 +510,10 @@ func (p *parser) parseFilters(st *Step) (*Step, error) {
 
 // parseExpr parses or-expressions.
 func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.parseAnd()
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package xpath
 import (
 	"bytes"
 	"sort"
+	"sync"
 
 	"repro/internal/automata"
 	"repro/internal/xmltree"
@@ -48,16 +49,14 @@ func (c *compiler) makePred(op TextOp, fn, lit string, tgt predTarget) automata.
 		// Custom predicates (e.g. PSSM) are always set-based; when the
 		// target is not a single text node the predicate holds if any text
 		// leaf in the node's range matches (the //*[pssm(...)] case of
-		// Figure 18).
+		// Figure 18). The set is computed once per compiled query, guarded
+		// for concurrent evaluations of a shared Query.
 		anyLeaf := !single
+		var once sync.Once
 		var set []int32
-		computed := false
 		opts := c.opts
 		return func(node int) bool {
-			if !computed {
-				set = matchSet(d, opts, op, fn, lit)
-				computed = true
-			}
+			once.Do(func() { set = matchSet(d, opts, op, fn, lit) })
 			lo, hi := d.TextIDs(node)
 			i := sort.Search(len(set), func(k int) bool { return int(set[k]) >= lo })
 			for ; i < len(set) && int(set[i]) < hi; i++ {

@@ -2,6 +2,7 @@ package xpath
 
 import (
 	"io"
+	"sync"
 
 	"repro/internal/automata"
 	"repro/internal/xmltree"
@@ -26,7 +27,10 @@ type Options struct {
 	CustomMatchSets map[string]func(lit string) []int32
 }
 
-// Query is a compiled Core+ query bound to a document.
+// Query is a compiled Core+ query bound to a document. A Query is safe for
+// concurrent use by multiple goroutines: every evaluation builds its own
+// evaluator state, and the statistics of the most recently finished
+// evaluation are kept behind a mutex (see Stats).
 type Query struct {
 	Src string
 	AST *Path
@@ -40,6 +44,7 @@ type Query struct {
 	// Count falls back to materialized set semantics.
 	mayOvercount bool
 
+	statsMu   sync.Mutex
 	lastStats automata.Stats
 }
 
@@ -129,7 +134,7 @@ func Compile(src string, doc *xmltree.Doc, opts Options) (*Query, error) {
 func (q *Query) Count() int64 {
 	if q.plan != nil {
 		nodes := q.plan.run()
-		q.lastStats = automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))}
+		q.setStats(automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))})
 		return int64(len(nodes))
 	}
 	if q.mayOvercount {
@@ -137,7 +142,7 @@ func (q *Query) Count() int64 {
 	}
 	ev := automata.NewEvaluator(q.auto, q.doc, automata.Count, q.opts.Eval)
 	n, _ := ev.Run()
-	q.lastStats = ev.Stats
+	q.setStats(ev.Stats)
 	return n
 }
 
@@ -145,12 +150,12 @@ func (q *Query) Count() int64 {
 func (q *Query) Nodes() []int {
 	if q.plan != nil {
 		nodes := q.plan.run()
-		q.lastStats = automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))}
+		q.setStats(automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))})
 		return nodes
 	}
 	ev := automata.NewEvaluator(q.auto, q.doc, automata.Materialize, q.opts.Eval)
 	_, nodes := ev.Run()
-	q.lastStats = ev.Stats
+	q.setStats(ev.Stats)
 	return nodes
 }
 
@@ -176,8 +181,19 @@ func (q *Query) Serialize(w io.Writer) (int, error) {
 	return len(nodes), nil
 }
 
-// Stats returns the evaluation statistics of the last Count/Nodes call.
-func (q *Query) Stats() automata.Stats { return q.lastStats }
+func (q *Query) setStats(s automata.Stats) {
+	q.statsMu.Lock()
+	q.lastStats = s
+	q.statsMu.Unlock()
+}
+
+// Stats returns the evaluation statistics of the most recently finished
+// Count/Nodes call (any goroutine's).
+func (q *Query) Stats() automata.Stats {
+	q.statsMu.Lock()
+	defer q.statsMu.Unlock()
+	return q.lastStats
+}
 
 // Automaton exposes the compiled automaton (nil for bottom-up plans); used
 // by tests and the benchmark harness.
