@@ -318,6 +318,83 @@ func BenchmarkFig15_MedlineText(b *testing.B) {
 	}
 }
 
+// BenchmarkAncestor measures an upward main-path step: the automaton
+// materializes //keyword and the navigational post-step climbs to the
+// enclosing listitems via BP Parent/Enclose, deduplicating shared ancestors.
+func BenchmarkAncestor(b *testing.B) {
+	setup(b)
+	b.Run("succinct", func(b *testing.B) {
+		q, err := corpora.xmarkIdx.Compile("//keyword/ancestor::listitem")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			q.Count()
+		}
+	})
+	b.Run("dom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := corpora.xmarkDOM.Eval("//keyword/ancestor::listitem"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPreceding measures a leftward order-based step: for each context
+// node the engine scans the tag sequence for earlier keyword openings and
+// filters out ancestors.
+func BenchmarkPreceding(b *testing.B) {
+	setup(b)
+	b.Run("sibling", func(b *testing.B) {
+		q, err := corpora.xmarkIdx.Compile("//parlist/preceding-sibling::text")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			q.Count()
+		}
+	})
+	// Existence form: the early-exit scan stops at the first preceding match.
+	b.Run("exists", func(b *testing.B) {
+		q, err := corpora.xmarkIdx.Compile("//parlist[not(preceding::parlist)]")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			q.Count()
+		}
+	})
+}
+
+// BenchmarkBackwardAxes runs one backward-axis query per corpus, so the CI
+// benchmark smoke step (-benchtime 1x) exercises the navigational evaluator
+// on every document shape.
+func BenchmarkBackwardAxes(b *testing.B) {
+	setup(b)
+	cases := []struct {
+		name  string
+		eng   *core.Engine
+		query string
+	}{
+		{"xmark", corpora.xmarkIdx, "//keyword/parent::*"},
+		{"medline", corpora.medlineIdx, "//LastName/ancestor::MedlineCitation"},
+		{"treebank", corpora.tbankIdx, "//VP/preceding-sibling::NP"},
+		{"bioxml", corpora.bioIdx, "//exon/ancestor-or-self::gene"},
+	}
+	for _, c := range cases {
+		q, err := c.eng.Compile(c.query)
+		if err != nil {
+			b.Fatal(c.name, err)
+		}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q.Count()
+			}
+		})
+	}
+}
+
 // BenchmarkTable7_WordIndex runs phrase queries through the word index.
 func BenchmarkTable7_WordIndex(b *testing.B) {
 	setup(b)

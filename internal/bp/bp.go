@@ -408,8 +408,35 @@ func (p *Parens) NextSibling(x int) int {
 	return Nil
 }
 
+// PrevSibling returns x's previous sibling or Nil. If the parenthesis just
+// before x is an opening one it belongs to x's parent (x is a first child);
+// otherwise it closes the previous sibling and FindOpen locates it.
+func (p *Parens) PrevSibling(x int) int {
+	if x <= 0 || p.bits.Get(x-1) {
+		return Nil
+	}
+	return p.FindOpen(x - 1)
+}
+
 // Parent returns x's parent or Nil.
 func (p *Parens) Parent(x int) int { return p.Enclose(x) }
+
+// LevelAncestor returns the ancestor of x that is d levels above it (d = 1
+// is the parent), or Nil when the walk leaves the tree. It generalizes
+// Enclose: inside the subtree of the ancestor at depth Depth(x)-d the excess
+// never drops below that depth, so the largest position before x with excess
+// Depth(x)-d-1 is the position just before that ancestor's opening
+// parenthesis — one bwdSearch instead of d Parent hops.
+func (p *Parens) LevelAncestor(x, d int) int {
+	if d <= 0 {
+		return x
+	}
+	r := p.bwdSearch(x-1, p.Excess(x)-1-d)
+	if r < -1 {
+		return Nil
+	}
+	return r + 1
+}
 
 // Depth returns the depth of node x (root has depth 1).
 func (p *Parens) Depth(x int) int { return p.Excess(x) }

@@ -10,6 +10,7 @@ type refTree struct {
 	parent     []int
 	firstChild []int
 	nextSib    []int
+	prevSib    []int
 	open       []int // open position of node k (preorder)
 	close      []int
 	depth      []int
@@ -26,6 +27,7 @@ func buildRef(parens []bool) *refTree {
 			r.parent = append(r.parent, Nil)
 			r.firstChild = append(r.firstChild, Nil)
 			r.nextSib = append(r.nextSib, Nil)
+			r.prevSib = append(r.prevSib, Nil)
 			r.open = append(r.open, i)
 			r.close = append(r.close, Nil)
 			r.depth = append(r.depth, len(stack)+1)
@@ -40,6 +42,7 @@ func buildRef(parens []bool) *refTree {
 						c = r.nextSib[c]
 					}
 					r.nextSib[c] = node
+					r.prevSib[node] = c
 				}
 			}
 			stack = append(stack, node)
@@ -118,6 +121,36 @@ func checkTree(t *testing.T, parens []bool) {
 		}
 		if got := p.NextSibling(x); got != wantNS {
 			t.Fatalf("NextSibling(%d)=%d want %d", x, got, wantNS)
+		}
+		wantPS := Nil
+		if ref.prevSib[k] != Nil {
+			wantPS = ref.open[ref.prevSib[k]]
+		}
+		if got := p.PrevSibling(x); got != wantPS {
+			t.Fatalf("PrevSibling(%d)=%d want %d", x, got, wantPS)
+		}
+		// LevelAncestor against the parent chain: d=0 is the node itself,
+		// d=depth-1 the root, anything beyond falls off the tree. Deep
+		// chains are spot-checked to keep the suite linear.
+		chain := []int{x}
+		for a := ref.parent[k]; a != Nil; a = ref.parent[a] {
+			chain = append(chain, ref.open[a])
+		}
+		depths := []int{0, 1, 2, len(chain) / 2, len(chain) - 1, len(chain), len(chain) + 1}
+		if len(chain) <= 32 {
+			depths = depths[:0]
+			for d := 0; d <= len(chain)+1; d++ {
+				depths = append(depths, d)
+			}
+		}
+		for _, d := range depths {
+			want := Nil
+			if d >= 0 && d < len(chain) {
+				want = chain[d]
+			}
+			if got := p.LevelAncestor(x, d); got != want {
+				t.Fatalf("LevelAncestor(%d,%d)=%d want %d", x, d, got, want)
+			}
 		}
 		if got := p.Preorder(x); got != k {
 			t.Fatalf("Preorder(%d)=%d want %d", x, got, k)

@@ -29,6 +29,11 @@ func TestConcurrentEngine(t *testing.T) {
 		"//open_auction[bidder]//increase",
 		"//closed_auction[not(annotation)]",
 		"//europe/item/name[starts-with(., 'a')]",
+		// Backward axes: nav post-steps and nav predicates must also be
+		// safe for concurrent evaluation of one shared Query.
+		"//keyword/ancestor::listitem",
+		"//name[parent::item]/..",
+		"//keyword[contains(., 'gold')]/preceding::emph",
 	}
 	type expect struct {
 		count int64

@@ -210,6 +210,8 @@ func collectAxis(n *Node, st *xpath.Step, emit func(*Node)) {
 			}
 		}
 		walk(n)
+	case xpath.AxisDescendantOrSelf:
+		emitSubtree(n, st.Test, emit)
 	case xpath.AxisSelf:
 		if matches(n, st.Test) {
 			emit(n)
@@ -220,6 +222,58 @@ func collectAxis(n *Node, st *xpath.Step, emit func(*Node)) {
 				emit(s)
 			}
 		}
+	case xpath.AxisPrecedingSibling:
+		if n.Parent != nil {
+			for s := n.Parent.FirstChild; s != nil && s != n; s = s.NextSibling {
+				if matches(s, st.Test) {
+					emit(s)
+				}
+			}
+		}
+	case xpath.AxisParent:
+		if n.Parent != nil && matches(n.Parent, st.Test) {
+			emit(n.Parent)
+		}
+	case xpath.AxisAncestor:
+		for a := n.Parent; a != nil; a = a.Parent {
+			if matches(a, st.Test) {
+				emit(a)
+			}
+		}
+	case xpath.AxisAncestorOrSelf:
+		for a := n; a != nil; a = a.Parent {
+			if matches(a, st.Test) {
+				emit(a)
+			}
+		}
+	case xpath.AxisPreceding:
+		// Every node before n in document order that does not enclose it
+		// lies in the subtree of a preceding sibling of an ancestor-or-self.
+		for a := n; a != nil; a = a.Parent {
+			if a.Parent == nil {
+				break
+			}
+			for s := a.Parent.FirstChild; s != nil && s != a; s = s.NextSibling {
+				emitSubtree(s, st.Test, emit)
+			}
+		}
+	case xpath.AxisFollowing:
+		// Symmetrically: subtrees of following siblings of ancestors-or-self.
+		for a := n; a != nil; a = a.Parent {
+			for s := a.NextSibling; s != nil; s = s.NextSibling {
+				emitSubtree(s, st.Test, emit)
+			}
+		}
+	}
+}
+
+// emitSubtree emits n and every descendant matching the test.
+func emitSubtree(n *Node, t xpath.NodeTest, emit func(*Node)) {
+	if matches(n, t) {
+		emit(n)
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		emitSubtree(c, t, emit)
 	}
 }
 

@@ -1,9 +1,10 @@
 // Package oracle generates random Core+ XPath queries over a document's own
 // vocabulary, for differential testing of the succinct engine against the
 // naive pointer-based evaluator of package dom. The generator stays inside
-// the fragment both evaluators support (forward axes, attribute steps,
-// boolean filters, the four text predicates), so every generated query must
-// compile — a compile error on generated input is itself a bug.
+// the fragment both evaluators support (every axis but namespace — forward,
+// backward and following — attribute steps, boolean filters, the four text
+// predicates), so every generated query must compile — a compile error on
+// generated input is itself a bug.
 package oracle
 
 import (
@@ -75,10 +76,20 @@ func isWord(w string) bool {
 	return true
 }
 
+// stepAxes are the explicit axis spellings the generator mixes into main
+// path steps (the grammar lets an explicit axis override the // shorthand).
+// The backward and following axes route the query through the navigational
+// post-step evaluator; following-sibling stays inside the automaton.
+var stepAxes = []string{
+	"following-sibling", "parent", "ancestor", "ancestor-or-self",
+	"preceding-sibling", "preceding", "following", "descendant-or-self",
+}
+
 // RandomQuery produces one random Core+ query over the vocabulary. The
-// distribution mixes selective and non-selective steps, attribute steps,
-// boolean filters and text predicates, including deliberate misses (unknown
-// tags and literals) to exercise the empty-result paths.
+// distribution mixes selective and non-selective steps, every axis
+// (standalone and inside predicates), attribute steps, boolean filters and
+// text predicates, including deliberate misses (unknown tags and literals)
+// to exercise the empty-result paths.
 func RandomQuery(r *gen.RNG, v Vocab) string {
 	var sb strings.Builder
 	steps := 1 + r.Intn(3)
@@ -88,9 +99,18 @@ func RandomQuery(r *gen.RNG, v Vocab) string {
 		} else {
 			sb.WriteString("/")
 		}
-		// following-sibling is legal on any step but the first.
-		if i > 0 && r.Intn(8) == 0 {
-			sb.WriteString("following-sibling::")
+		// Explicit axes ride on non-first steps so the context set they
+		// move from is usually non-empty (every axis is legal anywhere).
+		if i > 0 && r.Intn(6) == 0 {
+			if r.Intn(5) == 0 {
+				// The ".." abbreviation is a whole step (parent::node()).
+				sb.WriteString("..")
+				if r.Intn(3) == 0 {
+					sb.WriteString("[" + randExpr(r, v, 2) + "]")
+				}
+				continue
+			}
+			sb.WriteString(pick(r, stepAxes) + "::")
 		}
 		sb.WriteString(nodeTest(r, v))
 		if r.Intn(3) == 0 {
@@ -158,13 +178,20 @@ func randExpr(r *gen.RNG, v Vocab, depth int) string {
 
 func relPath(r *gen.RNG, v Vocab) string {
 	p := pick(r, v.Tags)
-	switch r.Intn(4) {
+	switch r.Intn(8) {
 	case 0:
 		return ".//" + p
 	case 1:
 		return p + "/" + pick(r, v.Tags)
 	case 2:
 		return p + "//" + pick(r, v.Tags)
+	case 3:
+		// backward/following axes inside predicates (a[parent::b] etc.)
+		return pick(r, stepAxes) + "::" + p
+	case 4:
+		return "../" + p
+	case 5:
+		return "ancestor::" + p + "/" + pick(r, v.Tags)
 	}
 	return p
 }

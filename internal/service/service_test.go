@@ -208,6 +208,11 @@ func TestCLIByteIdentical(t *testing.T) {
 		"//item[.//keyword]/name",
 		"//person[address]//emailaddress",
 		"//keyword[contains(., 'gold')]",
+		// Backward axes flow through the same load → compile → serialize
+		// pipeline, so the server must stay byte-identical to the CLI.
+		"//keyword/ancestor::listitem",
+		"//emph/..",
+		"//name[preceding-sibling::location]",
 	}
 	for _, q := range queries {
 		var cli bytes.Buffer

@@ -389,6 +389,7 @@ func (d *Doc) Close(x int) int { return d.Par.Close(x) }
 // are the basic navigation operations.
 func (d *Doc) FirstChild(x int) int     { return d.Par.FirstChild(x) }
 func (d *Doc) NextSibling(x int) int    { return d.Par.NextSibling(x) }
+func (d *Doc) PrevSibling(x int) int    { return d.Par.PrevSibling(x) }
 func (d *Doc) Parent(x int) int         { return d.Par.Parent(x) }
 func (d *Doc) IsLeaf(x int) bool        { return d.Par.IsLeaf(x) }
 func (d *Doc) IsAncestor(x, y int) bool { return d.Par.IsAncestor(x, y) }

@@ -48,14 +48,18 @@ type dstep struct {
 	leaf bool // the virtual hop onto the text/attribute-value leaf
 }
 
-// planBottomUp inspects the normalized query and builds a bottom-up plan if
-// the query has the supported shape and the text predicate can use the text
-// index; it returns nil otherwise (the caller then runs top-down).
+// planBottomUp inspects the normalized query (or, for queries with backward
+// steps, its downward prefix — Compile splits the path and applies the
+// remaining axes navigationally on top of this plan's result set) and builds
+// a bottom-up plan if the path has the supported shape and the text
+// predicate can use the text index; it returns nil otherwise (the caller
+// then runs top-down). Backward axes inside the path or the predicate
+// target leave the plan ineligible: the climb of run() only walks child and
+// descendant hops.
 func planBottomUp(doc *xmltree.Doc, path *Path, opts Options) *buPlan {
 	if doc.FM == nil || opts.DisableBottomUp || opts.ForceNaiveText {
 		return nil
 	}
-	_ = path
 	k := len(path.Steps)
 	for i, st := range path.Steps {
 		if st.Axis != AxisChild && st.Axis != AxisDescendant {

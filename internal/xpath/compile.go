@@ -391,12 +391,42 @@ func (c *compiler) compileExpr(e Expr, carrier *Step) (*automata.Formula, error)
 		}
 		return c.f.Not(inner), nil
 	case *PathExpr:
+		if pathNeedsNav(x.Path) {
+			// A predicate path with a backward (or following) step becomes a
+			// built-in predicate that walks the document from the carrier
+			// node; both TopDownRun and the bottom-up verifier then see it
+			// as an ordinary node test (see nav.go).
+			if err := navValidateSteps(c.opts, x.Path.Steps); err != nil {
+				return nil, err
+			}
+			d, opts, steps := c.doc, c.opts, x.Path.Steps
+			return c.f.Pred(x.String(), func(node int) bool {
+				return navExists(d, opts, node, steps)
+			}), nil
+		}
 		return c.compilePathFormula(x.Path, nil)
 	case *TextExpr:
 		if x.Op == OpCustom {
 			if _, ok := c.opts.CustomMatchSets[x.Func]; !ok {
 				return nil, fmt.Errorf("xpath: unknown function %q", x.Func)
 			}
+		}
+		if x.Target != nil && pathNeedsNav(x.Target) {
+			if err := navValidateSteps(c.opts, x.Target.Steps); err != nil {
+				return nil, err
+			}
+			d, opts, te := c.doc, c.opts, x
+			return c.f.Pred(x.String(), func(node int) bool {
+				found := false
+				navWalkPath(d, opts, node, te.Target.Steps, func(m int) bool {
+					if navTextMatch(d, opts, m, te) {
+						found = true
+						return false
+					}
+					return true
+				})
+				return found
+			}), nil
 		}
 		if x.Target == nil {
 			pred := c.makePred(x.Op, x.Func, x.Literal, predTarget{test: carrier.Test, underAttr: carrier.underAttr})

@@ -37,6 +37,27 @@ func FuzzParseQuery(f *testing.F) {
 		"descendant::*",
 		"@attr",
 		"//text()[. = '&']",
+		"//keyword/parent::listitem",
+		"//keyword/..",
+		"/part/../listitem",
+		"//emph/ancestor::listitem",
+		"//emph/ancestor-or-self::node()",
+		"//emph/preceding-sibling::keyword",
+		"//part/preceding::keyword",
+		"//keyword/following::color",
+		"//color[parent::part]",
+		"//part[preceding-sibling::listitem]",
+		"//emph[ancestor::doc and not(preceding::part)]",
+		"//keyword[contains(.., 'pen')]",
+		"//listitem/descendant-or-self::keyword",
+		"/descendant-or-self::node()",
+		"..",
+		"/..",
+		"//..",
+		"../..[a]",
+		"..::x",
+		"//a/..b",
+		"preceding::",
 	} {
 		f.Add(s)
 	}

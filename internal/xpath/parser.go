@@ -1,10 +1,15 @@
-// Package xpath implements the Core+ XPath fragment of Section 5.1: forward
-// Core XPath (child, descendant, self, attribute, following-sibling axes
-// with filters, and, or, not) extended with the text predicates =, contains,
-// starts-with and ends-with. Queries are compiled into the marking tree
-// automata of package automata (Section 5.2), with a planner that chooses
+// Package xpath implements the full-axis Core+ XPath fragment: Core XPath
+// (every XPath axis but namespace — child, descendant, descendant-or-self,
+// self, attribute, following-sibling, following, parent, ancestor,
+// ancestor-or-self, preceding-sibling and preceding — with filters, and,
+// or, not) extended with the text predicates =, contains, starts-with and
+// ends-with. Queries
+// are compiled into the marking tree automata of package automata
+// (Section 5.2) for the downward fragment, with a planner that chooses
 // between TopDownRun and BottomUpRun and between the FM-index and the naive
-// text store (Section 6.6).
+// text store (Section 6.6); upward and leftward steps, which the balanced
+// parentheses answer in constant-or-log time (Parent, PrevSibling,
+// FindOpen), are evaluated by direct navigation (see nav.go).
 package xpath
 
 import (
@@ -12,7 +17,9 @@ import (
 	"strings"
 )
 
-// Axis enumerates the supported forward axes.
+// Axis enumerates the supported axes. The first group (through
+// AxisFollowingSibling) is expressible by the downward marking automaton;
+// the second group is evaluated navigationally over the BP structure.
 type Axis uint8
 
 const (
@@ -21,6 +28,14 @@ const (
 	AxisSelf
 	AxisAttribute
 	AxisFollowingSibling
+
+	AxisDescendantOrSelf
+	AxisParent
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisPrecedingSibling
+	AxisPreceding
+	AxisFollowing
 )
 
 func (a Axis) String() string {
@@ -35,6 +50,20 @@ func (a Axis) String() string {
 		return "attribute"
 	case AxisFollowingSibling:
 		return "following-sibling"
+	case AxisDescendantOrSelf:
+		return "descendant-or-self"
+	case AxisParent:
+		return "parent"
+	case AxisAncestor:
+		return "ancestor"
+	case AxisAncestorOrSelf:
+		return "ancestor-or-self"
+	case AxisPrecedingSibling:
+		return "preceding-sibling"
+	case AxisPreceding:
+		return "preceding"
+	case AxisFollowing:
+		return "following"
 	}
 	return "?"
 }
@@ -186,6 +215,7 @@ const (
 	tkStar
 	tkAt
 	tkDot
+	tkDotDot // ..
 	tkEquals
 	tkString
 )
@@ -249,8 +279,13 @@ func lex(src string) ([]token, error) {
 			l.emit(tkAt, "@")
 			l.pos++
 		case c == '.':
-			l.emit(tkDot, ".")
-			l.pos++
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+				l.emit(tkDotDot, "..")
+				l.pos += 2
+			} else {
+				l.emit(tkDot, ".")
+				l.pos++
+			}
 		case c == '=':
 			l.emit(tkEquals, "=")
 			l.pos++
@@ -450,11 +485,22 @@ func (p *parser) parseStep(defaultAxis Axis) (*Step, error) {
 			st.Axis = AxisAttribute
 		case "following-sibling":
 			st.Axis = AxisFollowingSibling
+		case "parent":
+			st.Axis = AxisParent
+		case "ancestor":
+			st.Axis = AxisAncestor
+		case "ancestor-or-self":
+			st.Axis = AxisAncestorOrSelf
+		case "preceding-sibling":
+			st.Axis = AxisPrecedingSibling
+		case "preceding":
+			st.Axis = AxisPreceding
+		case "following":
+			st.Axis = AxisFollowing
 		case "descendant-or-self":
-			// Only as the expansion of // with a node() test.
-			st.Axis = AxisDescendant
+			st.Axis = AxisDescendantOrSelf
 		default:
-			return nil, p.errf("unsupported axis %q (backward axes are not in Core+)", name)
+			return nil, p.errf("unknown axis %q (supported: child, descendant, descendant-or-self, self, attribute, following-sibling, following, parent, ancestor, ancestor-or-self, preceding-sibling, preceding)", name)
 		}
 	case tkAt:
 		p.next()
@@ -462,6 +508,13 @@ func (p *parser) parseStep(defaultAxis Axis) (*Step, error) {
 	case tkDot:
 		p.next()
 		st.Axis = AxisSelf
+		st.Test = NodeTest{Kind: TestNode}
+		return p.parseFilters(st)
+	case tkDotDot:
+		// ".." abbreviates parent::node(). As everywhere in this grammar, an
+		// explicit axis overrides the // shorthand, so "a//.." is a/..
+		p.next()
+		st.Axis = AxisParent
 		st.Test = NodeTest{Kind: TestNode}
 		return p.parseFilters(st)
 	}
@@ -649,7 +702,7 @@ func (p *parser) parseValueTarget() (*Path, error) {
 		p.i = save
 	}
 	switch p.cur().kind {
-	case tkSlash, tkDSlash, tkName, tkStar, tkAt, tkAxis:
+	case tkSlash, tkDSlash, tkName, tkStar, tkAt, tkAxis, tkDotDot:
 		return p.parsePath(false)
 	}
 	return nil, p.errf("expected path or . , got %q", p.cur().text)

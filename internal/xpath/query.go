@@ -40,6 +40,13 @@ type Query struct {
 	plan *buPlan
 	opts Options
 
+	// post holds the trailing steps evaluated navigationally: everything
+	// from the first backward (or following) step of the main path onward.
+	// The automaton/bottom-up plan evaluates the downward prefix; each post
+	// step is then a set transformation over BP navigation (nav.go). nil
+	// for pure downward queries, whose pipeline is unchanged.
+	post []*Step
+
 	// mayOvercount: counters are not guaranteed disjoint (see compileSteps);
 	// Count falls back to materialized set semantics.
 	mayOvercount bool
@@ -56,6 +63,13 @@ func (q *Query) Strategy() string {
 	if q.plan != nil {
 		s = "bottom-up"
 	}
+	if q.post != nil {
+		if q.plan == nil && q.auto == nil {
+			s = "nav"
+		} else {
+			s += "+nav"
+		}
+	}
 	if hasText, fm := q.textInfo(); hasText {
 		if fm && !q.opts.ForceNaiveText && q.doc.FM != nil {
 			return s + ",fm"
@@ -67,26 +81,45 @@ func (q *Query) Strategy() string {
 
 func (q *Query) textInfo() (hasText, fmUsable bool) {
 	c := &compiler{doc: q.doc, opts: q.opts}
-	var walkExpr func(e Expr, carrier *Step)
-	var walkPath func(p *Path)
+	// Steps evaluated navigationally (the post segment) apply their text
+	// predicates with the naive string-value semantics, as does anything
+	// nested under a backward-axis predicate path.
+	postSet := map[*Step]bool{}
+	for _, st := range q.post {
+		postSet[st] = true
+	}
+	var walkExpr func(e Expr, carrier *Step, nav bool)
+	var walkPath func(p *Path, nav bool)
 	fmUsable = true
-	walkExpr = func(e Expr, carrier *Step) {
+	walkExpr = func(e Expr, carrier *Step, nav bool) {
 		switch x := e.(type) {
 		case *AndExpr:
-			walkExpr(x.L, carrier)
-			walkExpr(x.R, carrier)
+			walkExpr(x.L, carrier, nav)
+			walkExpr(x.R, carrier, nav)
 		case *OrExpr:
-			walkExpr(x.L, carrier)
-			walkExpr(x.R, carrier)
+			walkExpr(x.L, carrier, nav)
+			walkExpr(x.R, carrier, nav)
 		case *NotExpr:
-			walkExpr(x.E, carrier)
+			walkExpr(x.E, carrier, nav)
 		case *PathExpr:
-			walkPath(x.Path)
+			walkPath(x.Path, nav || pathNeedsNav(x.Path))
 		case *TextExpr:
 			hasText = true
+			if nav {
+				fmUsable = false
+				if x.Target != nil {
+					walkPath(x.Target, true)
+				}
+				return
+			}
 			tgt := predTarget{test: carrier.Test, underAttr: carrier.underAttr}
 			if x.Target != nil {
-				walkPath(x.Target)
+				if pathNeedsNav(x.Target) {
+					fmUsable = false
+					walkPath(x.Target, true)
+					return
+				}
+				walkPath(x.Target, false)
 				tl := x.Target.Steps[len(x.Target.Steps)-1]
 				tgt = predTarget{test: tl.Test, underAttr: tl.underAttr}
 			}
@@ -95,18 +128,26 @@ func (q *Query) textInfo() (hasText, fmUsable bool) {
 			}
 		}
 	}
-	walkPath = func(p *Path) {
+	walkPath = func(p *Path, nav bool) {
 		for _, st := range p.Steps {
+			stepNav := nav || postSet[st]
 			for _, f := range st.Filters {
-				walkExpr(f, st)
+				walkExpr(f, st, stepNav)
 			}
 		}
 	}
-	walkPath(q.AST)
+	walkPath(q.AST, false)
 	return hasText, fmUsable
 }
 
 // Compile parses, normalizes, plans and compiles a query against a document.
+//
+// The main path is split at the first step the marking automaton cannot
+// express (a backward or following axis): the downward prefix goes through
+// the usual planner (bottom-up when the text predicate is selective,
+// TopDownRun otherwise) and the remaining steps become navigational set
+// transformations over the BP structure. Pure downward queries take exactly
+// the pre-existing pipeline.
 func Compile(src string, doc *xmltree.Doc, opts Options) (*Query, error) {
 	ast, err := ParseQuery(src)
 	if err != nil {
@@ -117,6 +158,26 @@ func Compile(src string, doc *xmltree.Doc, opts Options) (*Query, error) {
 		return nil, err
 	}
 	q := &Query{Src: src, AST: norm, doc: doc, opts: opts}
+	split := 0
+	for split < len(norm.Steps) && automatonAxis(norm.Steps[split].Axis) {
+		split++
+	}
+	if norm.Steps[0].Axis == AxisFollowingSibling {
+		// The automaton launches its first state below the root, where a
+		// sibling-axis start has no meaning; evaluate navigationally (the
+		// synthetic root has no siblings, so such queries select nothing).
+		split = 0
+	}
+	if split < len(norm.Steps) {
+		q.post = norm.Steps[split:]
+		if err := navValidateSteps(opts, q.post); err != nil {
+			return nil, err
+		}
+		if split == 0 {
+			return q, nil
+		}
+		norm = &Path{Steps: norm.Steps[:split]}
+	}
 	q.plan = planBottomUp(doc, norm, opts)
 	if q.plan == nil {
 		c := &compiler{doc: doc, f: automata.NewFactory(), opts: opts}
@@ -132,6 +193,10 @@ func Compile(src string, doc *xmltree.Doc, opts Options) (*Query, error) {
 
 // Count returns the number of result nodes (counting mode, Section 5.5.3).
 func (q *Query) Count() int64 {
+	if q.post != nil {
+		// Navigational steps deduplicate by materializing.
+		return int64(len(q.Nodes()))
+	}
 	if q.plan != nil {
 		nodes := q.plan.run()
 		q.setStats(automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))})
@@ -148,6 +213,15 @@ func (q *Query) Count() int64 {
 
 // Nodes materializes the result nodes in document order.
 func (q *Query) Nodes() []int {
+	if q.post != nil {
+		nodes, stats := q.prefixNodes()
+		for _, st := range q.post {
+			nodes = navApplyStep(q.doc, q.opts, nodes, st)
+		}
+		stats.Marked = int64(len(nodes))
+		q.setStats(stats)
+		return nodes
+	}
 	if q.plan != nil {
 		nodes := q.plan.run()
 		q.setStats(automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))})
@@ -157,6 +231,22 @@ func (q *Query) Nodes() []int {
 	_, nodes := ev.Run()
 	q.setStats(ev.Stats)
 	return nodes
+}
+
+// prefixNodes evaluates the downward prefix of a query with navigational
+// post steps; an empty prefix yields the root context.
+func (q *Query) prefixNodes() ([]int, automata.Stats) {
+	switch {
+	case q.plan != nil:
+		nodes := q.plan.run()
+		return nodes, automata.Stats{Visited: int64(len(nodes))}
+	case q.auto != nil:
+		ev := automata.NewEvaluator(q.auto, q.doc, automata.Materialize, q.opts.Eval)
+		_, nodes := ev.Run()
+		return nodes, ev.Stats
+	default:
+		return []int{q.doc.Root()}, automata.Stats{}
+	}
 }
 
 // Serialize writes the XML serialization of every result node to w and

@@ -112,6 +112,21 @@ func TestPaperDocQueries(t *testing.T) {
 		"//nosuchtag",
 		"//part[nosuchtag]",
 		"//part[contains(@name, 'ub')]",
+		"//color/parent::part",
+		"//color/..",
+		"//color/../stock",
+		"//stock/ancestor::*",
+		"//stock/ancestor-or-self::node()",
+		"//stock/preceding-sibling::color",
+		"//part/preceding-sibling::part",
+		"//color/following::stock",
+		"//stock/preceding::color",
+		"//part[preceding-sibling::part]",
+		"//stock[parent::part[@name = 'pen']]",
+		"//part[color]/../part[not(color)]",
+		"//stock[ancestor::parts]",
+		"//color[following::part]",
+		"/parts/part/color/ancestor::part/stock",
 	})
 }
 
@@ -139,6 +154,64 @@ func TestListDocQueries(t *testing.T) {
 		"//keyword[. = 'gamma']",
 		"//keyword[. = 'beta']",
 		"//listitem[keyword and not(parlist)]",
+		"//emph/ancestor::listitem",
+		"//keyword/ancestor-or-self::keyword",
+		"//emph/ancestor::keyword/..",
+		"//keyword[parent::listitem]",
+		"//keyword[parent::section]",
+		"//emph[ancestor::parlist]",
+		"//keyword/following::emph",
+		"//emph/preceding::keyword",
+		"//bold/preceding-sibling::keyword",
+		"//keyword[following::bold]",
+		"//listitem[.//keyword/ancestor::parlist]",
+		"//keyword[contains(., 'beta')]/ancestor::listitem",
+		"//emph[starts-with(., 'tail')]/preceding::keyword",
+		"//keyword[ancestor::listitem and not(emph)]",
+		"//section/keyword/following::*",
+		"//parlist/ancestor-or-self::listitem/keyword",
+		"//keyword[contains(ancestor::listitem, 'plain')]",
+		"//text()[preceding::bold]",
+		"//keyword[preceding::keyword[contains(., 'alpha')]]",
+	})
+}
+
+// TestFullAxisQueries exercises every axis spelling end to end against the
+// oracle, including axes as the first step (evaluated from the root
+// context) and chains that alternate forward and backward movement.
+func TestFullAxisQueries(t *testing.T) {
+	checkAgainstOracle(t, listDoc, []string{
+		"/child::doc",
+		"/doc/child::listitem",
+		"/descendant::keyword",
+		"//keyword/self::node()",
+		"/parent::node()",
+		"/..",
+		"/ancestor::node()",
+		"/ancestor-or-self::node()",
+		"/following::node()",
+		"/preceding::node()",
+		"/following-sibling::node()",
+		"/preceding-sibling::node()",
+		"//emph/parent::keyword/parent::listitem",
+		"//emph/ancestor::listitem//text()",
+		"//keyword/../..",
+		"//parlist/preceding::text()",
+		"//keyword/following::text()",
+		"//keyword[../bold]",
+		"//emph[../../parlist]",
+		"//keyword[ancestor-or-self::*[parent::doc]]",
+		"//*[preceding-sibling::listitem and following-sibling::listitem]",
+		"//keyword[not(preceding::keyword)]",
+		"//keyword[following::keyword and preceding::keyword]",
+		"//emph/ancestor::*[keyword]/..",
+		"//listitem/descendant::emph/ancestor-or-self::keyword",
+		"/descendant-or-self::node()",
+		"/descendant-or-self::keyword",
+		"//keyword/descendant-or-self::keyword",
+		"//listitem/descendant-or-self::*/keyword",
+		"//keyword[descendant-or-self::*[contains(., 'beta')]]",
+		"//emph/ancestor::listitem/descendant-or-self::text()",
 	})
 }
 
@@ -210,12 +283,13 @@ func TestParseErrors(t *testing.T) {
 		"//",
 		"//part[",
 		"//part[]",
-		"//ancestor::x",
+		"//nosuchaxis::x",
 		"//part[contains(.)]",
 		"//part[contains(., 'x'",
 		"//part[\"lit\"]",
 		"//part = 'x'",
-		"//part[preceding-sibling::x]",
+		"//part[child::]",
+		"//...",
 	}
 	for _, qs := range bad {
 		if _, err := Compile(qs, d, Options{}); err == nil {
@@ -281,6 +355,13 @@ var fuzzQueries = []string{
 	"//a[@k]", "//a[@k = 'b']", "//a/following-sibling::b",
 	"//a[b/following-sibling::c]", "//a[not(.//b) and c]",
 	"//a//b[contains(., 'qux')]", "//d//e", "//a/b/c",
+	"//b/..", "//b/parent::a", "//b/ancestor::a", "//c/ancestor-or-self::*",
+	"//b/preceding-sibling::a", "//b/preceding::c", "//a/following::b",
+	"//a[..]", "//b[parent::a]", "//c[ancestor::a[@k]]",
+	"//b[preceding-sibling::b]", "//a[preceding::b]", "//b[following::c]",
+	"//a//b/../c", "//e/ancestor::a/b", "//b[contains(.., 'foo')]",
+	"//c[. = 'hello']/preceding::b", "//a[b]/following::a[c]",
+	"//d/ancestor-or-self::d", "//a/b/preceding-sibling::*",
 }
 
 func TestRandomizedDifferential(t *testing.T) {
