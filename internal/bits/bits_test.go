@@ -63,6 +63,64 @@ func TestRank9WordMask(t *testing.T) {
 	}
 }
 
+// TestExcessTables recomputes every table entry from the definition: the
+// byte is a sequence of 8 parentheses, bit 0 first, delta +1 for a set bit.
+func TestExcessTables(t *testing.T) {
+	for v := 0; v < 256; v++ {
+		// Forward: running excess after 1..8 steps from bit 0.
+		e, mn, mx := 0, 127, -127
+		for b := 0; b < 8; b++ {
+			if v>>uint(b)&1 == 1 {
+				e++
+			} else {
+				e--
+			}
+			if e < mn {
+				mn = e
+			}
+			if e > mx {
+				mx = e
+			}
+		}
+		if int(ExcessTotal[v]) != e {
+			t.Fatalf("ExcessTotal[%#02x]=%d want %d", v, ExcessTotal[v], e)
+		}
+		if int(ExcessFwdMin[v]) != mn || int(ExcessFwdMax[v]) != mx {
+			t.Fatalf("ExcessFwd[%#02x]=[%d,%d] want [%d,%d]", v, ExcessFwdMin[v], ExcessFwdMax[v], mn, mx)
+		}
+		// Backward: undoing bits 7..0 from the byte's last position, the
+		// walk sits at the negated suffix sums of the deltas.
+		e, mn, mx = 0, 127, -127
+		for b := 7; b >= 0; b-- {
+			if v>>uint(b)&1 == 1 {
+				e--
+			} else {
+				e++
+			}
+			if e < mn {
+				mn = e
+			}
+			if e > mx {
+				mx = e
+			}
+		}
+		if int(ExcessBwdMin[v]) != mn || int(ExcessBwdMax[v]) != mx {
+			t.Fatalf("ExcessBwd[%#02x]=[%d,%d] want [%d,%d]", v, ExcessBwdMin[v], ExcessBwdMax[v], mn, mx)
+		}
+		// The two walks are mirror images: backward over v equals forward
+		// over the bit-reversed byte with signs flipped.
+		rev := 0
+		for b := 0; b < 8; b++ {
+			if v>>uint(b)&1 == 1 {
+				rev |= 1 << uint(7-b)
+			}
+		}
+		if int(ExcessBwdMin[v]) != -int(ExcessFwdMax[rev]) || int(ExcessBwdMax[v]) != -int(ExcessFwdMin[rev]) {
+			t.Fatalf("ExcessBwd[%#02x] not mirror of ExcessFwd[%#02x]", v, rev)
+		}
+	}
+}
+
 func BenchmarkSelectInWord(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	ws := make([]uint64, 1024)

@@ -22,9 +22,20 @@ type Vector struct {
 	super  []uint64 // cumulative popcount before each superblock (per 8 words = 512 bits)
 	ones   int
 	frozen bool
+	// Select samples: superblock index holding the (k*selSampleRate)-th
+	// one (resp. zero). They bound the superblock search of Select1/Select0
+	// to the gap between two consecutive samples, which is O(1) superblocks
+	// on dense vectors. Rebuilt by Build, never persisted.
+	selSamp1 []int32
+	selSamp0 []int32
 }
 
 const wordsPerSuper = 8
+
+// selSampleRate is the number of ones (zeros) between consecutive select
+// samples. At 512 bits per superblock, samples add at most one int32 per
+// superblock of payload: <7% space overhead, and far less on sparse vectors.
+const selSampleRate = 512
 
 // New returns a vector of n bits, all zero.
 func New(n int) *Vector {
@@ -70,7 +81,9 @@ func (v *Vector) Get(i int) bool {
 	return v.words[i>>6]&(1<<uint(i&63)) != 0
 }
 
-// Build freezes the vector and constructs the rank directory.
+// Build freezes the vector and constructs the rank directory and the select
+// samples. Load calls Build too, so samples always exist on a frozen vector
+// without being part of the on-disk format.
 func (v *Vector) Build() {
 	ns := (len(v.words) + wordsPerSuper - 1) / wordsPerSuper
 	v.super = make([]uint64, ns+1)
@@ -83,7 +96,32 @@ func (v *Vector) Build() {
 	}
 	v.super[ns] = c
 	v.ones = int(c)
+	v.buildSelectSamples()
 	v.frozen = true
+}
+
+// buildSelectSamples records, for every selSampleRate-th one and zero, the
+// superblock that contains it. One monotone sweep over the rank directory.
+func (v *Vector) buildSelectSamples() {
+	v.selSamp1 = make([]int32, 0, v.ones/selSampleRate+1)
+	sb := 0
+	for k := 0; k*selSampleRate < v.ones; k++ {
+		target := uint64(k * selSampleRate)
+		for v.super[sb+1] <= target {
+			sb++
+		}
+		v.selSamp1 = append(v.selSamp1, int32(sb))
+	}
+	zeros := v.n - v.ones
+	v.selSamp0 = make([]int32, 0, zeros/selSampleRate+1)
+	sb = 0
+	for k := 0; k*selSampleRate < zeros; k++ {
+		target := k * selSampleRate
+		for (sb+1)*wordsPerSuper*64-int(v.super[sb+1]) <= target {
+			sb++
+		}
+		v.selSamp0 = append(v.selSamp0, int32(sb))
+	}
 }
 
 // Rank1 returns the number of 1 bits in positions [0, i), i in [0, Len()].
@@ -117,13 +155,18 @@ func (v *Vector) Rank0(i int) int {
 }
 
 // Select1 returns the position of the (j+1)-th set bit (0-based j), or -1 if
-// there are fewer than j+1 set bits.
+// there are fewer than j+1 set bits. The sampled hints narrow the superblock
+// binary search to the gap between two consecutive samples.
 func (v *Vector) Select1(j int) int {
 	if j < 0 || j >= v.ones {
 		return -1
 	}
-	// Binary search superblocks.
-	lo, hi := 0, len(v.super)-1
+	k := j / selSampleRate
+	lo := int(v.selSamp1[k])
+	hi := len(v.super) - 1
+	if k+1 < len(v.selSamp1) {
+		hi = int(v.selSamp1[k+1])
+	}
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		if int(v.super[mid]) <= j {
@@ -148,7 +191,12 @@ func (v *Vector) Select0(j int) int {
 	if j < 0 || j >= v.n-v.ones {
 		return -1
 	}
-	lo, hi := 0, len(v.super)-1
+	k := j / selSampleRate
+	lo := int(v.selSamp0[k])
+	hi := len(v.super) - 1
+	if k+1 < len(v.selSamp0) {
+		hi = int(v.selSamp0[k+1])
+	}
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
 		zerosBefore := mid*wordsPerSuper*64 - int(v.super[mid])
@@ -174,7 +222,7 @@ func (v *Vector) Words() []uint64 { return v.words }
 
 // SizeInBytes reports the memory footprint of the structure.
 func (v *Vector) SizeInBytes() int {
-	return 8*len(v.words) + 8*len(v.super) + 24
+	return 8*len(v.words) + 8*len(v.super) + 4*len(v.selSamp1) + 4*len(v.selSamp0) + 24
 }
 
 func (v *Vector) String() string {

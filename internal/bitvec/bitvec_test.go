@@ -72,6 +72,62 @@ func TestVectorRankSelectAgainstNaive(t *testing.T) {
 	}
 }
 
+// TestSelectSampled stresses the sampled select path on vectors big enough
+// to hold many samples, including adversarial layouts where consecutive
+// samples are many superblocks apart (a dense cluster followed by a long
+// empty gap and a final stretch of ones).
+func TestSelectSampled(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	build := func(n int, set func(i int) bool) (*Vector, []int) {
+		v := New(n)
+		var ones []int
+		for i := 0; i < n; i++ {
+			if set(i) {
+				v.Set(i)
+				ones = append(ones, i)
+			}
+		}
+		v.Build()
+		return v, ones
+	}
+	shapes := map[string]struct {
+		n   int
+		set func(i int) bool
+	}{
+		"dense":       {1 << 17, func(i int) bool { return r.Intn(2) == 0 }},
+		"all-ones":    {1<<16 + 37, func(i int) bool { return true }},
+		"cluster-gap": {1 << 18, func(i int) bool { return i < 2000 || i >= 1<<18-2000 }},
+		"sparse":      {1 << 18, func(i int) bool { return r.Intn(300) == 0 }},
+		"runs":        {1 << 17, func(i int) bool { return i/4096%2 == 0 }},
+	}
+	for name, s := range shapes {
+		v, ones := build(s.n, s.set)
+		if v.Ones() != len(ones) {
+			t.Fatalf("%s: ones=%d want %d", name, v.Ones(), len(ones))
+		}
+		for j, p := range ones {
+			if got := v.Select1(j); got != p {
+				t.Fatalf("%s: Select1(%d)=%d want %d", name, j, got, p)
+			}
+		}
+		// Select0 against rank-based inversion, sampled positions.
+		zeros := v.Len() - v.Ones()
+		for k := 0; k < 3000 && k < zeros; k++ {
+			j := k
+			if zeros > 3000 {
+				j = r.Intn(zeros)
+			}
+			got := v.Select0(j)
+			if got < 0 || v.Get(got) || v.Rank0(got) != j {
+				t.Fatalf("%s: Select0(%d)=%d (rank0=%d)", name, j, got, v.Rank0(got))
+			}
+		}
+		if v.Select1(v.Ones()) != -1 || v.Select0(zeros) != -1 {
+			t.Fatalf("%s: select past the end must be -1", name)
+		}
+	}
+}
+
 func TestVectorGetSet(t *testing.T) {
 	v := New(100)
 	v.Set(0)

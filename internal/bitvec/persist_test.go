@@ -78,6 +78,53 @@ func TestSparseSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestVectorLoadRebuildsSelectSamples proves the select samples are a
+// derived structure: they are not part of the on-disk payload (same format
+// version as the seed), Load rebuilds them identically to a fresh Build,
+// and re-saving a loaded vector is byte-identical to the original payload.
+func TestVectorLoadRebuildsSelectSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 511, 4096, 1 << 16} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				v.Set(i)
+			}
+		}
+		v.Build()
+		var buf bytes.Buffer
+		if err := v.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		saved := append([]byte(nil), buf.Bytes()...)
+		got, err := LoadVector(bytes.NewReader(saved))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.selSamp1) != len(v.selSamp1) || len(got.selSamp0) != len(v.selSamp0) {
+			t.Fatalf("n=%d: sample counts differ after load: %d/%d want %d/%d",
+				n, len(got.selSamp1), len(got.selSamp0), len(v.selSamp1), len(v.selSamp0))
+		}
+		for i := range v.selSamp1 {
+			if got.selSamp1[i] != v.selSamp1[i] {
+				t.Fatalf("n=%d: selSamp1[%d] differs", n, i)
+			}
+		}
+		for i := range v.selSamp0 {
+			if got.selSamp0[i] != v.selSamp0[i] {
+				t.Fatalf("n=%d: selSamp0[%d] differs", n, i)
+			}
+		}
+		var buf2 bytes.Buffer
+		if err := got.Save(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(saved, buf2.Bytes()) {
+			t.Fatalf("n=%d: re-saved payload not byte-identical", n)
+		}
+	}
+}
+
 func TestVectorLoadCorrupt(t *testing.T) {
 	v := FromBools([]bool{true, false, true, true})
 	var buf bytes.Buffer

@@ -10,6 +10,7 @@
 package bp
 
 import (
+	"repro/internal/bits"
 	"repro/internal/bitvec"
 )
 
@@ -31,32 +32,24 @@ type Parens struct {
 	segLeaves      int // power of two >= nBlocks
 }
 
-// byte tables: walking a byte LSB-first, prefix excess min/max and total.
-var (
-	byteTotal [256]int8
-	byteMin   [256]int8 // min prefix excess (after >=1 steps)
-	byteMax   [256]int8
-)
+// navCounter counts structure visits during a search. Production calls pass
+// nil (no shared state, so concurrent readers stay race-free); whitebox
+// tests pass a counter to assert the O(log n) bound: at most two block scans
+// plus a root-to-leaf factor of segment-tree nodes per search.
+type navCounter struct {
+	blocks   int // blocks scanned by scanFwd/scanBwd
+	segNodes int // segment-tree nodes whose [min,max] was tested
+}
 
-func init() {
-	for v := 0; v < 256; v++ {
-		e, mn, mx := 0, 127, -127
-		for b := 0; b < 8; b++ {
-			if v>>uint(b)&1 == 1 {
-				e++
-			} else {
-				e--
-			}
-			if e < mn {
-				mn = e
-			}
-			if e > mx {
-				mx = e
-			}
-		}
-		byteTotal[v] = int8(e)
-		byteMin[v] = int8(mn)
-		byteMax[v] = int8(mx)
+func (c *navCounter) block() {
+	if c != nil {
+		c.blocks++
+	}
+}
+
+func (c *navCounter) segNode() {
+	if c != nil {
+		c.segNodes++
 	}
 }
 
@@ -158,31 +151,46 @@ func (p *Parens) Rank1(i int) int { return p.bits.Rank1(i) }
 // Select1 returns the position of the (j+1)-th opening parenthesis.
 func (p *Parens) Select1(j int) int { return p.bits.Select1(j) }
 
+// covers reports whether segment-tree node idx's excess range contains
+// target. Padding leaves keep their sentinel ranges and never cover.
+func (p *Parens) covers(idx int, target int32, c *navCounter) bool {
+	c.segNode()
+	return p.segMin[idx] <= target && target <= p.segMax[idx]
+}
+
 // fwdSearch returns the smallest j > i with Excess(j) == target, or Nil.
 func (p *Parens) fwdSearch(i, target int) int {
-	e := p.Excess(i)
+	return p.fwdSearchCounted(i, target, nil)
+}
+
+func (p *Parens) fwdSearchCounted(i, target int, c *navCounter) int {
 	start := i + 1
 	b := start / blockBits
-	if b < p.nBlocks {
-		end := (b + 1) * blockBits
-		if end > p.n {
-			end = p.n
-		}
-		if j, ok := p.scanFwd(start, end, e, target); ok {
-			return j
-		}
-		// Find next block whose [min,max] range covers target.
-		nb := p.nextBlock(b+1, int32(target))
-		if nb < 0 {
-			return Nil
-		}
-		lo, hi := nb*blockBits, (nb+1)*blockBits
-		if hi > p.n {
-			hi = p.n
-		}
-		if j, ok := p.scanFwd(lo, hi, int(p.blockStart[nb]), target); ok {
-			return j
-		}
+	if b >= p.nBlocks {
+		return Nil
+	}
+	e := p.Excess(i)
+	end := (b + 1) * blockBits
+	if end > p.n {
+		end = p.n
+	}
+	c.block()
+	if j, ok := p.scanFwd(start, end, e, target); ok {
+		return j
+	}
+	// Find the next block whose [min,max] range covers target; inside it a
+	// ±1 walk attains every value of the range, so the scan cannot miss.
+	nb := p.nextBlock(b+1, int32(target), c)
+	if nb < 0 {
+		return Nil
+	}
+	lo, hi := nb*blockBits, (nb+1)*blockBits
+	if hi > p.n {
+		hi = p.n
+	}
+	c.block()
+	if j, ok := p.scanFwd(lo, hi, int(p.blockStart[nb]), target); ok {
+		return j
 	}
 	return Nil
 }
@@ -209,7 +217,7 @@ func (p *Parens) scanFwd(start, end, e, target int) (int, bool) {
 		}
 		bv := byte(words[i>>6] >> uint(i&63))
 		d := target - e
-		if int(byteMin[bv]) <= d && d <= int(byteMax[bv]) {
+		if int(bits.ExcessFwdMin[bv]) <= d && d <= int(bits.ExcessFwdMax[bv]) {
 			// The target is hit inside this byte; scan its bits.
 			for b := 0; b < 8; b++ {
 				if bv>>uint(b)&1 == 1 {
@@ -222,84 +230,99 @@ func (p *Parens) scanFwd(start, end, e, target int) (int, bool) {
 				}
 			}
 		}
-		e += int(byteTotal[bv])
+		e += int(bits.ExcessTotal[bv])
 		i += 8
 	}
 	return 0, false
 }
 
 // nextBlock returns the first block index >= b whose excess range covers
-// target, or -1.
-func (p *Parens) nextBlock(b int, target int32) int {
-	if b >= p.nBlocks {
+// target, or -1. It climbs from the leaf to the nearest ancestor that is a
+// left child, steps to that ancestor's right sibling, and repeats until a
+// covering subtree is found, then descends to its leftmost covering leaf:
+// O(log n) node visits total.
+func (p *Parens) nextBlock(b int, target int32, c *navCounter) int {
+	if b < 0 || b >= p.nBlocks {
 		return -1
 	}
-	// Walk up from the leaf, checking right siblings, then descend.
 	idx := p.segLeaves + b
-	for idx > 1 {
-		if idx%2 == 0 { // left child: check this subtree first if we haven't
-			if p.segMin[idx] <= target && target <= p.segMax[idx] {
-				break
-			}
-			idx++ // move to right sibling
-		} else {
-			if p.segMin[idx] <= target && target <= p.segMax[idx] {
-				break
-			}
-			// climb until we are a left child again
+	for !p.covers(idx, target, c) {
+		for idx > 1 && idx%2 == 1 {
 			idx /= 2
-			for idx > 1 && idx%2 == 1 {
-				idx /= 2
-			}
-			if idx <= 1 {
-				return -1
-			}
-			idx++ // right sibling of the ancestor
 		}
+		if idx <= 1 {
+			return -1
+		}
+		idx++ // right sibling: all blocks beyond those already ruled out
 	}
-	if idx <= 1 {
-		return -1
-	}
-	// Descend to the leftmost covering leaf.
 	for idx < p.segLeaves {
-		if p.segMin[2*idx] <= target && target <= p.segMax[2*idx] {
+		if p.covers(2*idx, target, c) {
 			idx = 2 * idx
 		} else {
 			idx = 2*idx + 1
 		}
 	}
-	blk := idx - p.segLeaves
-	if blk >= p.nBlocks {
+	return idx - p.segLeaves
+}
+
+// prevBlock returns the last block index <= b whose excess range covers
+// target, or -1. Mirror image of nextBlock: climb past left-child
+// ancestors, step to the left sibling, descend to the rightmost covering
+// leaf.
+func (p *Parens) prevBlock(b int, target int32, c *navCounter) int {
+	if b < 0 || b >= p.nBlocks {
 		return -1
 	}
-	return blk
+	idx := p.segLeaves + b
+	for !p.covers(idx, target, c) {
+		for idx > 1 && idx%2 == 0 {
+			idx /= 2
+		}
+		if idx <= 1 {
+			return -1
+		}
+		idx-- // left sibling: all blocks before those already ruled out
+	}
+	for idx < p.segLeaves {
+		if p.covers(2*idx+1, target, c) {
+			idx = 2*idx + 1
+		} else {
+			idx = 2 * idx
+		}
+	}
+	return idx - p.segLeaves
 }
 
 // bwdSearch returns the largest j < i with Excess(j) == target, or -2 when
-// no such j exists even conceptually; j == -1 (Excess(-1) == 0) is a valid
-// answer when target is 0.
+// no such j exists; j == -1 (Excess(-1) == 0) is a valid answer when target
+// is 0. The position i itself is never returned, even when Excess(i) ==
+// target.
 func (p *Parens) bwdSearch(i, target int) int {
-	if i < 0 {
-		if target == 0 {
+	return p.bwdSearchCounted(i, target, nil)
+}
+
+func (p *Parens) bwdSearchCounted(i, target int, c *navCounter) int {
+	if i <= 0 {
+		// The only candidate below position 0 is the virtual j == -1.
+		if i == 0 && target == 0 {
 			return -1
 		}
 		return -2
 	}
-	e := p.Excess(i)
-	// Walk j from i-1 down to -1; excess(j) = excess(j+1) - val(j+1).
-	j := i
-	b := j / blockBits
-	lo := b * blockBits
-	if r, ok := p.scanBwd(j, lo, e, target); ok {
+	hi := i - 1
+	b := hi / blockBits
+	c.block()
+	if r, ok := p.scanBwd(hi, b*blockBits, p.Excess(hi), target); ok {
 		return r
 	}
-	// blocks to the left
-	for blk := b - 1; blk >= 0; blk-- {
-		if p.segMin[p.segLeaves+blk] <= int32(target) && int32(target) <= p.segMax[p.segLeaves+blk] {
-			hi := (blk+1)*blockBits - 1
-			if r, ok := p.scanBwd(hi, blk*blockBits, int(p.Excess(hi)), target); ok {
-				return r
-			}
+	// The scan covered block b down to its lower boundary (position
+	// b*blockBits-1, whose excess is blockStart[b]). Jump straight to the
+	// last earlier block covering target; blockStart seeds its edge excess,
+	// so no rank is needed.
+	if pb := p.prevBlock(b-1, int32(target), c); pb >= 0 {
+		c.block()
+		if r, ok := p.scanBwd((pb+1)*blockBits-1, pb*blockBits, int(p.blockStart[pb+1]), target); ok {
+			return r
 		}
 	}
 	if target == 0 {
@@ -308,21 +331,49 @@ func (p *Parens) bwdSearch(i, target int) int {
 	return -2
 }
 
-// scanBwd scans positions j = start-1 ... lo-1 where e is Excess(start) and
-// returns the largest j in [lo-1, start-1] with Excess(j) == target. The
-// position `start` itself is also checked.
+// scanBwd scans positions j = start, start-1, ..., lo-1, where e is
+// Excess(start), and returns the largest j with Excess(j) == target
+// (excess(j) = excess(j+1) - delta(j+1)). Uses the backward byte tables to
+// skip 8 positions at a time.
 func (p *Parens) scanBwd(start, lo, e, target int) (int, bool) {
-	for j := start; j >= lo; j-- {
+	words := p.bits.Words()
+	j := start
+	for {
 		if e == target {
 			return j, true
+		}
+		if j < lo {
+			return 0, false
+		}
+		// Byte acceleration: j at the top of a byte whose 8 backward steps
+		// all stay within [lo-1, start].
+		if j&7 == 7 && j-7 >= lo {
+			bv := byte(words[j>>6] >> uint(j&63&^7))
+			d := target - e
+			if int(bits.ExcessBwdMin[bv]) <= d && d <= int(bits.ExcessBwdMax[bv]) {
+				// The target is hit inside this byte; undo its bits top-down.
+				for b := 7; b >= 0; b-- {
+					if bv>>uint(b)&1 == 1 {
+						e--
+					} else {
+						e++
+					}
+					if e == target {
+						return j - 8 + b, true
+					}
+				}
+			}
+			e -= int(bits.ExcessTotal[bv])
+			j -= 8
+			continue
 		}
 		if p.bits.Get(j) {
 			e--
 		} else {
 			e++
 		}
+		j--
 	}
-	return 0, false
 }
 
 // FindClose returns the position of the closing parenthesis matching the
@@ -340,7 +391,7 @@ func (p *Parens) FindOpen(j int) int {
 	if j > 0 && p.bits.Get(j-1) {
 		return j - 1 // leaf fast path
 	}
-	r := p.bwdSearch(j-1, p.Excess(j))
+	r := p.bwdSearch(j, p.Excess(j))
 	if r < -1 {
 		return Nil
 	}
@@ -353,7 +404,7 @@ func (p *Parens) Enclose(i int) int {
 	if i == 0 {
 		return Nil
 	}
-	r := p.bwdSearch(i-1, p.Excess(i)-2)
+	r := p.bwdSearch(i, p.Excess(i)-2)
 	if r < -1 {
 		return Nil
 	}
@@ -431,7 +482,7 @@ func (p *Parens) LevelAncestor(x, d int) int {
 	if d <= 0 {
 		return x
 	}
-	r := p.bwdSearch(x-1, p.Excess(x)-1-d)
+	r := p.bwdSearch(x, p.Excess(x)-1-d)
 	if r < -1 {
 		return Nil
 	}

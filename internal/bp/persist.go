@@ -3,6 +3,7 @@ package bp
 import (
 	"io"
 
+	"repro/internal/bits"
 	"repro/internal/bitvec"
 	"repro/internal/persist"
 )
@@ -41,11 +42,11 @@ func Read(pr *persist.Reader) *Parens {
 	for i := 0; i < n && excess >= 0; {
 		if i%8 == 0 && n-i >= 8 {
 			bv := byte(words[i>>6] >> uint(i&63))
-			if excess+int(byteMin[bv]) < 0 {
+			if excess+int(bits.ExcessFwdMin[bv]) < 0 {
 				excess = -1
 				break
 			}
-			excess += int(byteTotal[bv])
+			excess += int(bits.ExcessTotal[bv])
 			i += 8
 			continue
 		}
