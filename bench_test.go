@@ -7,6 +7,9 @@ import (
 	"bytes"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -94,6 +97,83 @@ func BenchmarkLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkOpenMapped measures the zero-copy open of the same saved index
+// from disk: mmap plus derived-directory rebuilds only, no payload copies.
+// Compare with BenchmarkLoad — the gap is the whole point of the mapped
+// path, and it widens with index size (see BenchmarkOpenMappedLarge).
+func BenchmarkOpenMapped(b *testing.B) {
+	setup(b)
+	path := filepath.Join(b.TempDir(), "xmark.sxsi")
+	if _, err := corpora.xmarkIdx.SaveFile(path); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(corpora.xmark)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.OpenFile(path, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Close()
+	}
+}
+
+// Large-index pair: the acceptance experiment behind the mapped path.
+// Gated by SXSI_BENCH_MB (e.g. 100) because building a multi-hundred-MB
+// corpus takes minutes; both benchmarks share one saved index, so
+// benchstat can compare open latencies directly.
+var largeIdx struct {
+	once sync.Once
+	path string
+	size int64
+}
+
+func largeIndexPath(b *testing.B) string {
+	mb, _ := strconv.Atoi(os.Getenv("SXSI_BENCH_MB"))
+	if mb <= 0 {
+		b.Skip("set SXSI_BENCH_MB to run the large-index open benchmarks")
+	}
+	largeIdx.once.Do(func() {
+		dir, err := os.MkdirTemp("", "sxsi-bench-large")
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := core.Build(gen.XMark(11, mb<<20), core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		largeIdx.path = filepath.Join(dir, "large.sxsi")
+		if largeIdx.size, err = eng.SaveFile(largeIdx.path); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return largeIdx.path
+}
+
+func BenchmarkOpenMappedLarge(b *testing.B) {
+	path := largeIndexPath(b)
+	b.SetBytes(largeIdx.size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.OpenFile(path, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.Close()
+	}
+}
+
+func BenchmarkLoadLarge(b *testing.B) {
+	path := largeIndexPath(b)
+	b.SetBytes(largeIdx.size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LoadFile(path, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig8_IndexConstruction measures Build (Figure 8, construction).
 func BenchmarkFig8_IndexConstruction(b *testing.B) {
 	setup(b)
@@ -145,7 +225,7 @@ func BenchmarkTable2_FMSearch(b *testing.B) {
 	b.Run("naive-scan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			n := 0
-			for _, t := range corpora.medlineIdx.Doc.Plain {
+			for _, t := range corpora.medlineIdx.Doc.Plain.All() {
 				if bytes.Contains(t, []byte("brain")) {
 					n++
 				}
@@ -465,7 +545,7 @@ func BenchmarkSelectDense(b *testing.B) {
 // BenchmarkTable7_WordIndex runs phrase queries through the word index.
 func BenchmarkTable7_WordIndex(b *testing.B) {
 	setup(b)
-	widx := wordindex.New(corpora.medlineIdx.Doc.Plain)
+	widx := wordindex.New(corpora.medlineIdx.Doc.Plain.All())
 	eng := corpora.medlineIdx.WithQueryOptions(xpath.Options{
 		CustomMatchSets: map[string]func(string) []int32{"wcontains": widx.ContainsPhrase},
 	})
@@ -493,7 +573,7 @@ func BenchmarkFig18_PSSM(b *testing.B) {
 	})
 	b.Run("scan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pssm.ScanTexts(corpora.bioIdx.Doc.Plain, &m, thr)
+			pssm.ScanTexts(corpora.bioIdx.Doc.Plain.All(), &m, thr)
 		}
 	})
 }

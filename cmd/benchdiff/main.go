@@ -1,0 +1,196 @@
+// Command benchdiff compares two `go test -bench` outputs and gates CI on
+// performance regressions. It reads the old (merge-base) and new (PR)
+// outputs, takes the median ns/op per benchmark across repeated runs
+// (-count), reports every ratio as JSON, and exits nonzero when a
+// benchmark matching the pinned regular expression regressed by more than
+// the threshold.
+//
+//	benchdiff -old base.txt -new pr.txt \
+//	    -pinned '^BenchmarkLoad$|^BenchmarkBwdSearchDeep$' \
+//	    -threshold 1.30 -json BENCH_pr.json
+//
+// Benchmarks present on only one side are reported but never gate: a new
+// benchmark has no baseline, and a deleted one has no regression. Unlike
+// benchstat, no statistics beyond the median are attempted — the gate is
+// deliberately loose (default +30%) so shared-runner noise does not flap,
+// and benchstat can still be run on the same files for human consumption.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's comparison in the JSON report.
+type result struct {
+	Name      string  `json:"name"`
+	OldNsOp   float64 `json:"old_ns_op,omitempty"`
+	NewNsOp   float64 `json:"new_ns_op,omitempty"`
+	Ratio     float64 `json:"ratio,omitempty"` // new / old
+	Pinned    bool    `json:"pinned"`
+	Regressed bool    `json:"regressed"`
+}
+
+type report struct {
+	Threshold float64  `json:"threshold"`
+	Pinned    string   `json:"pinned"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "benchmark output of the baseline (merge-base)")
+	newPath := flag.String("new", "", "benchmark output of the candidate (PR)")
+	pinned := flag.String("pinned", ".*", "regexp of benchmark names that gate the run")
+	threshold := flag.Float64("threshold", 1.30, "maximum allowed new/old ns-per-op ratio for pinned benchmarks")
+	jsonOut := flag.String("json", "", "write the full comparison as JSON to this file")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*pinned)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -pinned:", err)
+		os.Exit(2)
+	}
+	oldRuns, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRuns, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	rep := compare(oldRuns, newRuns, re, *threshold)
+	failed := false
+	for _, r := range rep.Results {
+		status := "ok"
+		switch {
+		case r.OldNsOp == 0:
+			status = "new"
+		case r.NewNsOp == 0:
+			status = "gone"
+		case r.Regressed:
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-50s old=%12.1f new=%12.1f ratio=%5.2f pinned=%-5v %s\n",
+			r.Name, r.OldNsOp, r.NewNsOp, r.Ratio, r.Pinned, status)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: write json:", err)
+			os.Exit(2)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: pinned benchmarks regressed beyond %.0f%%\n", (*threshold-1)*100)
+		os.Exit(1)
+	}
+}
+
+// compare builds the report: per benchmark, median old vs median new.
+func compare(oldRuns, newRuns map[string][]float64, pinned *regexp.Regexp, threshold float64) report {
+	names := map[string]bool{}
+	for n := range oldRuns {
+		names[n] = true
+	}
+	for n := range newRuns {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	rep := report{Threshold: threshold, Pinned: pinned.String()}
+	for _, n := range sorted {
+		r := result{Name: n, Pinned: pinned.MatchString(n)}
+		r.OldNsOp = median(oldRuns[n])
+		r.NewNsOp = median(newRuns[n])
+		if r.OldNsOp > 0 && r.NewNsOp > 0 {
+			r.Ratio = r.NewNsOp / r.OldNsOp
+			r.Regressed = r.Pinned && r.Ratio > threshold
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if ok {
+			runs[name] = append(runs[name], ns)
+		}
+	}
+	return runs, sc.Err()
+}
+
+// parseLine extracts (name, ns/op) from one benchmark result line, e.g.
+//
+//	BenchmarkLoad-8   	     100	  12300201 ns/op	 170.90 MB/s
+//
+// The trailing -N GOMAXPROCS suffix is stripped so runs from machines with
+// different core counts still line up.
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	nsIdx := -1
+	for i, f := range fields {
+		if f == "ns/op" {
+			nsIdx = i - 1
+			break
+		}
+	}
+	if nsIdx < 2 {
+		return "", 0, false
+	}
+	ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, ns, true
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkLoad-8   \t     100\t  12300201 ns/op\t 170.90 MB/s", "BenchmarkLoad", 12300201, true},
+		{"BenchmarkFig10_XMark/X01/count-4 \t 1000\t 52.5 ns/op", "BenchmarkFig10_XMark/X01/count", 52.5, true},
+		{"BenchmarkNoProcs \t 10\t 99 ns/op", "BenchmarkNoProcs", 99, true},
+		{"PASS", "", 0, false},
+		{"ok  \trepro\t0.9s", "", 0, false},
+		{"goos: linux", "", 0, false},
+		{"BenchmarkBroken 12", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Fatalf("parseLine(%q) = %q,%v,%v want %q,%v,%v", c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestCompareGating(t *testing.T) {
+	oldRuns := map[string][]float64{
+		"BenchmarkLoad":     {100, 110, 105}, // median 105
+		"BenchmarkOther":    {50},
+		"BenchmarkDeleted":  {10},
+		"BenchmarkUnpinned": {10},
+	}
+	newRuns := map[string][]float64{
+		"BenchmarkLoad":     {150, 160, 140}, // median 150: 1.43x, regressed
+		"BenchmarkOther":    {60},            // 1.2x, under threshold
+		"BenchmarkNew":      {1},             // no baseline
+		"BenchmarkUnpinned": {500},           // huge, but not pinned
+	}
+	re := regexp.MustCompile(`^BenchmarkLoad$|^BenchmarkOther$`)
+	rep := compare(oldRuns, newRuns, re, 1.30)
+	got := map[string]result{}
+	for _, r := range rep.Results {
+		got[r.Name] = r
+	}
+	if !got["BenchmarkLoad"].Regressed {
+		t.Fatal("BenchmarkLoad should regress")
+	}
+	if got["BenchmarkOther"].Regressed || got["BenchmarkUnpinned"].Regressed {
+		t.Fatal("under-threshold or unpinned benchmark flagged")
+	}
+	if got["BenchmarkNew"].Regressed || got["BenchmarkDeleted"].Regressed {
+		t.Fatal("one-sided benchmarks must never gate")
+	}
+	if got["BenchmarkLoad"].OldNsOp != 105 || got["BenchmarkLoad"].NewNsOp != 150 {
+		t.Fatalf("median wrong: %+v", got["BenchmarkLoad"])
+	}
+}

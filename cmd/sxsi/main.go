@@ -8,18 +8,19 @@
 //	sxsi stats -i doc.sxsi                       index statistics
 //	sxsi serve -dir ./indexes -addr :8080        serve a directory over HTTP
 //
-// Query and count accept either a saved index (loaded, skipping the
-// suffix-sort construction cost) or a raw XML file (indexed on the fly);
-// the two are distinguished by the index magic number. The query may be
-// given positionally or with -q. "index" is accepted as an alias of
-// "build" and -in/-out as aliases of -i/-o.
+// Query and count accept either a saved index (memory-mapped by default,
+// so opening is near-instant regardless of index size; -no-mmap copies
+// instead) or a raw XML file (indexed on the fly); the two are
+// distinguished by the index magic number. The query may be given
+// positionally or with -q. "index" is accepted as an alias of "build" and
+// -in/-out as aliases of -i/-o.
 package main
 
 import (
 	"bufio"
-	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/collection"
@@ -38,6 +39,7 @@ func main() {
 	q := fs.String("q", "", "XPath query (may also be given positionally)")
 	sample := fs.Int("sample", 64, "FM-index sampling rate l")
 	rl := fs.Bool("rl", false, "use the run-length text index (repetitive data)")
+	noMmap := fs.Bool("no-mmap", false, "load saved indexes by copying instead of memory-mapping")
 	addr := fs.String("addr", ":8080", "listen address (for 'serve')")
 	dir := fs.String("dir", "", "document directory (for 'serve')")
 	workers := fs.Int("workers", 0, "worker pool size for 'serve' (0 = GOMAXPROCS)")
@@ -49,7 +51,7 @@ func main() {
 		*q = fs.Arg(0)
 	}
 
-	cfg := core.Config{SampleRate: *sample, RunLength: *rl}
+	cfg := core.Config{SampleRate: *sample, RunLength: *rl, NoMmap: *noMmap}
 	if cmd == "serve" {
 		if *dir == "" {
 			fatal("missing -dir document directory")
@@ -95,20 +97,29 @@ func main() {
 		fmt.Printf("tree bytes:   %d\n", st.TreeBytes)
 		fmt.Printf("fm bytes:     %d\n", st.TextBytes)
 		fmt.Printf("plain bytes:  %d\n", st.PlainBytes)
+		fmt.Printf("mapped:       %v\n", st.Mapped)
+		fmt.Printf("mapped bytes: %d\n", st.MappedBytes)
+		fmt.Printf("heap bytes:   %d\n", st.HeapBytes)
 	default:
 		usage()
 	}
 }
 
-// open loads a saved index or builds one from raw XML, sniffing the magic.
+// open loads a saved index (memory-mapped unless -no-mmap) or builds one
+// from raw XML, sniffing the magic.
 func open(path string, cfg core.Config) *core.Engine {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	check(err)
-	if core.IsIndexData(data) {
-		eng, err := core.Load(bytes.NewReader(data), cfg)
+	head := make([]byte, 16)
+	n, _ := io.ReadFull(f, head) // shorter files simply fail the magic check
+	check(f.Close())
+	if core.IsIndexData(head[:n]) {
+		eng, err := core.OpenFile(path, cfg)
 		check(err)
 		return eng
 	}
+	data, err := os.ReadFile(path)
+	check(err)
 	eng, err := core.Build(data, cfg)
 	check(err)
 	return eng
@@ -125,6 +136,7 @@ commands:
   serve  -dir DIR [-addr :8080]     serve a directory of documents over HTTP
 
 flags: -sample N (FM sampling rate), -rl (run-length text index),
+       -no-mmap (copy saved indexes instead of memory-mapping them),
        -workers N / -cache N (serve worker pool and query-cache size)`)
 	os.Exit(2)
 }

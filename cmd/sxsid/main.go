@@ -1,6 +1,8 @@
 // Command sxsid is the SXSI query daemon: it bulk-loads a directory of
-// saved indexes (.sxsi) and raw XML documents (.xml, indexed on startup)
-// and serves Core+ XPath queries over HTTP.
+// saved indexes (.sxsi, memory-mapped by default so startup latency and
+// private memory are independent of index size; -no-mmap copies instead)
+// and raw XML documents (.xml, indexed on startup) and serves Core+ XPath
+// queries over HTTP.
 //
 //	sxsid -dir ./indexes -addr :8080
 //
@@ -31,12 +33,13 @@ func main() {
 	cache := flag.Int("cache", 0, "compiled-query LRU capacity (0 = default, negative disables)")
 	sample := flag.Int("sample", 64, "FM-index sampling rate l for documents built from raw XML")
 	rl := flag.Bool("rl", false, "use the run-length text index (repetitive data)")
+	noMmap := flag.Bool("no-mmap", false, "load .sxsi indexes by copying instead of memory-mapping")
 	flag.Parse()
 
 	cfg := collection.Config{
 		Workers:   *workers,
 		CacheSize: *cache,
-		Index:     core.Config{SampleRate: *sample, RunLength: *rl},
+		Index:     core.Config{SampleRate: *sample, RunLength: *rl, NoMmap: *noMmap},
 	}
 	if err := service.Run(*addr, *dir, cfg, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sxsid:", err)

@@ -65,7 +65,7 @@ func Table23(w io.Writer, scale Scale, sampleRate int) {
 		panic(err)
 	}
 	fm := eng.Doc.FM
-	plain := eng.Doc.Plain
+	plain := eng.Doc.Plain.All()
 
 	t := NewTable(w, "pattern", "global#", "global t", "contains#", "contains t", "report t", "naive t")
 	for _, p := range Table2Patterns {
@@ -419,7 +419,7 @@ func Table7(w io.Writer, scale Scale) {
 			data = med
 		}
 		eng, _ := core.Build(data, core.Config{})
-		widx := wordindex.New(eng.Doc.Plain)
+		widx := wordindex.New(eng.Doc.Plain.All())
 		opts := xpath.Options{CustomMatchSets: map[string]func(string) []int32{
 			"wcontains": widx.ContainsPhrase,
 		}}
@@ -434,7 +434,7 @@ func Table7(w io.Writer, scale Scale) {
 		// engine without a word index must do).
 		phrase := wordindex.Tokenize([]byte(firstLiteral(q.Query)))
 		naiveT := Measure(func() {
-			for _, tx := range eng.Doc.Plain {
+			for _, tx := range eng.Doc.Plain.All() {
 				words := wordindex.Tokenize(tx)
 				for i := 0; i+len(phrase) <= len(words); i++ {
 					ok := true

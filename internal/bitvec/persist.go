@@ -31,7 +31,7 @@ func (v *Vector) Store(pw *persist.Writer) {
 
 // ReadVector reads a vector written by Store and rebuilds its rank
 // directory. On corrupt input it returns nil and leaves the error in pr.
-func ReadVector(pr *persist.Reader) *Vector {
+func ReadVector(pr persist.Source) *Vector {
 	if pr.Check(pr.Byte() == vectorFormat, "unknown bit vector format") != nil {
 		return nil
 	}
@@ -83,7 +83,7 @@ func (s *Sparse) Store(pw *persist.Writer) {
 
 // ReadSparse reads a sparse vector written by Store. On corrupt input it
 // returns nil and leaves the error in pr.
-func ReadSparse(pr *persist.Reader) *Sparse {
+func ReadSparse(pr persist.Source) *Sparse {
 	if pr.Check(pr.Byte() == sparseFormat, "unknown sparse vector format") != nil {
 		return nil
 	}

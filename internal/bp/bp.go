@@ -86,6 +86,10 @@ func New(v *bitvec.Vector) *Parens {
 		p.segMin[i] = int32(1) << 30
 		p.segMax[i] = -(int32(1) << 30)
 	}
+	// Per-block excess sweep, one byte at a time through the prefix-excess
+	// tables (block boundaries are byte-aligned): ~8x fewer steps than a
+	// per-bit walk, which matters because this build runs on every load.
+	words := v.Words()
 	e := int32(0)
 	for b := 0; b < nb; b++ {
 		p.blockStart[b] = e
@@ -94,7 +98,18 @@ func New(v *bitvec.Vector) *Parens {
 		if hi > p.n {
 			hi = p.n
 		}
-		for i := lo; i < hi; i++ {
+		i := lo
+		for ; hi-i >= 8; i += 8 {
+			bv := byte(words[i>>6] >> uint(i&63))
+			if m := e + int32(bits.ExcessFwdMin[bv]); m < mn {
+				mn = m
+			}
+			if m := e + int32(bits.ExcessFwdMax[bv]); m > mx {
+				mx = m
+			}
+			e += int32(bits.ExcessTotal[bv])
+		}
+		for ; i < hi; i++ {
 			if v.Get(i) {
 				e++
 			} else {
@@ -136,6 +151,10 @@ func (p *Parens) Len() int { return p.n }
 
 // IsOpen reports whether position i holds an opening parenthesis.
 func (p *Parens) IsOpen(i int) bool { return p.bits.Get(i) }
+
+// BitWords exposes the raw words of the parenthesis bit vector, for
+// word-parallel consumers (cross-structure validation, serialization).
+func (p *Parens) BitWords() []uint64 { return p.bits.Words() }
 
 // Excess returns the number of open minus closed parentheses in [0, i].
 func (p *Parens) Excess(i int) int {

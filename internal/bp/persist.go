@@ -23,7 +23,7 @@ func (p *Parens) Store(pw *persist.Writer) {
 // Read reads a parenthesis sequence written by Store and rebuilds the
 // range-min-max tree over it. On corrupt input it returns nil and leaves
 // the error in pr.
-func Read(pr *persist.Reader) *Parens {
+func Read(pr persist.Source) *Parens {
 	if pr.Check(pr.Byte() == parensFormat, "unknown parentheses format") != nil {
 		return nil
 	}

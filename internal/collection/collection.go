@@ -147,26 +147,38 @@ func (c *Collection) Len() int {
 }
 
 // Open loads the file at path and registers it under name: a saved index
-// (recognized by its magic number) is streamed through core.Load, anything
-// else is treated as raw XML and indexed on the fly (build-on-miss). Only
-// the raw-XML path buffers the whole file; indexes can be multi-GB and are
-// never held as raw bytes.
+// (recognized by its magic number) is opened through core.OpenFile —
+// memory-mapped by default, so startup cost is independent of the index
+// size and the pages stay shared with the OS cache (set Index.NoMmap to
+// copy instead) — and anything else is treated as raw XML and indexed on
+// the fly (build-on-miss). Only the raw-XML path buffers the whole file;
+// indexes can be multi-GB and are never held as raw bytes nor copied onto
+// the heap.
+//
+// A mapped engine keeps its index file mapped for as long as the engine is
+// reachable; replacing or removing a document does not unmap it eagerly
+// (queries may still be running against it). Once the engine — and the
+// compiled queries referencing it, which Add/Remove drop from the cache —
+// becomes unreachable, the mapping is released by the finalizer OpenFile
+// registered, so a daemon that hot-reloads documents does not accumulate
+// dead mappings.
 func (c *Collection) Open(name, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	br := bufio.NewReader(f)
 	head, _ := br.Peek(16) // shorter files simply fail the magic check
 	var eng *core.Engine
 	if core.IsIndexData(head) {
-		eng, err = core.Load(br, c.cfg.Index)
+		f.Close()
+		eng, err = core.OpenFile(path, c.cfg.Index)
 	} else {
 		var data []byte
 		if data, err = io.ReadAll(br); err == nil {
 			eng, err = core.Build(data, c.cfg.Index)
 		}
+		f.Close()
 	}
 	if err != nil {
 		return fmt.Errorf("collection: open %s: %w", path, err)
@@ -463,9 +475,15 @@ feed:
 	return out
 }
 
-// Stats is a snapshot of the collection's serving counters.
+// Stats is a snapshot of the collection's serving counters. MappedDocs
+// counts documents whose index payloads alias a mapped file; MappedBytes
+// and HeapBytes aggregate the per-engine split of shared (page-cache
+// backed) versus private index memory.
 type Stats struct {
 	Docs        int   `json:"docs"`
+	MappedDocs  int   `json:"mapped_docs"`
+	MappedBytes int64 `json:"mapped_bytes"`
+	HeapBytes   int64 `json:"heap_bytes"`
 	Queries     int64 `json:"queries"`
 	Errors      int64 `json:"errors"`
 	CacheHits   int64 `json:"cache_hits"`
@@ -476,12 +494,22 @@ type Stats struct {
 // Stats reports the current serving counters.
 func (c *Collection) Stats() Stats {
 	s := Stats{
-		Docs:        c.Len(),
 		Queries:     c.queries.Load(),
 		Errors:      c.errCount.Load(),
 		CacheHits:   c.cacheHits.Load(),
 		CacheMisses: c.cacheMiss.Load(),
 	}
+	c.mu.RLock()
+	s.Docs = len(c.docs)
+	for _, eng := range c.docs {
+		es := eng.Stats()
+		if es.Mapped {
+			s.MappedDocs++
+		}
+		s.MappedBytes += int64(es.MappedBytes)
+		s.HeapBytes += int64(es.HeapBytes)
+	}
+	c.mu.RUnlock()
 	if c.cache != nil {
 		c.cacheMu.Lock()
 		s.CacheLen = c.cache.len()

@@ -270,3 +270,46 @@ func TestParseMode(t *testing.T) {
 		t.Fatal("ParseMode(bogus) succeeded")
 	}
 }
+
+// TestOpenMapsByDefault: a saved index opens memory-mapped (zero-copy),
+// the NoMmap knob opts out, and the collection stats aggregate the split.
+func TestOpenMapsByDefault(t *testing.T) {
+	dir := t.TempDir()
+	idxPath := filepath.Join(dir, "doc.sxsi")
+	n, err := buildEngine(t, testXML).SaveFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Config{})
+	if err := c.Open("doc", idxPath); err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := c.Get("doc")
+	if !eng.Mapped() {
+		t.Fatal("saved index did not open mapped")
+	}
+	st := c.Stats()
+	if st.MappedDocs != 1 || st.MappedBytes != n {
+		t.Fatalf("stats = %+v, want 1 mapped doc of %d bytes", st, n)
+	}
+
+	nc := New(Config{Index: core.Config{NoMmap: true}})
+	if err := nc.Open("doc", idxPath); err != nil {
+		t.Fatal(err)
+	}
+	eng, _ = nc.Get("doc")
+	if eng.Mapped() {
+		t.Fatal("NoMmap collection mapped anyway")
+	}
+	if st := nc.Stats(); st.MappedDocs != 0 || st.MappedBytes != 0 {
+		t.Fatalf("NoMmap stats = %+v", st)
+	}
+
+	// Mapped and copied engines answer identically.
+	a := c.Do(Request{Doc: "doc", Query: "//book/title", Mode: ModeSerialize})
+	b := nc.Do(Request{Doc: "doc", Query: "//book/title", Mode: ModeSerialize})
+	if a.Err != nil || b.Err != nil || string(a.Output) != string(b.Output) {
+		t.Fatalf("outputs differ: %q/%v vs %q/%v", a.Output, a.Err, b.Output, b.Err)
+	}
+}

@@ -7,12 +7,18 @@
 package core
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"repro/internal/automata"
 	"repro/internal/fmindex"
+	"repro/internal/mmap"
+	"repro/internal/persist"
 	"repro/internal/rlfm"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -29,9 +35,19 @@ import (
 // collection does exactly that). Clones made with WithEval or
 // WithQueryOptions share only the immutable index and are safe to use
 // concurrently with their parent.
+//
+// An engine opened through OpenFile may be memory-mapped: its succinct
+// payloads alias the mapped index file and only the derived directories
+// live on the heap. The mapping stays valid for the engine's whole
+// lifetime (clones included); Close releases it and must only be called
+// once no goroutine can touch the engine or a clone again.
 type Engine struct {
 	Doc  *xmltree.Doc
 	opts Config
+
+	// backing keeps the mapped index file alive for mapped engines; nil
+	// for built or copy-loaded engines.
+	backing *mmap.File
 }
 
 // Config controls indexing and evaluation.
@@ -48,6 +64,9 @@ type Config struct {
 	// the wavelet tree — the RLCSA swap of Section 6.7 for repetitive
 	// collections.
 	RunLength bool
+	// NoMmap disables the memory-mapped load path of OpenFile: the index is
+	// copied into private memory as with LoadFile.
+	NoMmap bool
 	// Query carries the per-query evaluation options.
 	Query xpath.Options
 }
@@ -88,17 +107,47 @@ func BuildFile(path string, cfg Config) (*Engine, error) {
 func (e *Engine) Save(w io.Writer) (int64, error) { return e.Doc.WriteTo(w) }
 
 // SaveFile writes the index to path, returning the number of bytes
-// written.
+// written. The write is crash-safe: the index is written to a temporary
+// file in the same directory, fsynced, and atomically renamed over path,
+// so a crash mid-build can never leave a truncated .sxsi that a later
+// (mapped) reader would trust. The containing directory is fsynced
+// best-effort to persist the rename itself.
 func (e *Engine) SaveFile(path string) (int64, error) {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return 0, err
 	}
+	tmp := f.Name()
+	// CreateTemp makes the file 0600; give the finished index the usual
+	// artifact permissions — other processes mapping the same file (the
+	// point of the mmap path) must be able to open it.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
 	n, err := e.Save(f)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	return n, err
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return n, err
+	}
+	// Not all platforms and filesystems support fsyncing a directory;
+	// failure here does not undo a completed, durable write of the data.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return n, nil
 }
 
 // Load reads an index previously written by Save.
@@ -118,6 +167,82 @@ func LoadFile(path string, cfg Config) (*Engine, error) {
 	}
 	defer f.Close()
 	return Load(f, cfg)
+}
+
+// ErrNotMappable reports an index whose on-disk version predates the
+// aligned layout; it loads through Load/LoadFile but not LoadMapped.
+var ErrNotMappable = xmltree.ErrNotMappable
+
+// LoadMapped reads an index out of data — typically an mmap'd file —
+// aliasing the succinct payloads in place instead of copying them. Only
+// derived directories are built on the heap, so the load cost is
+// independent of the text and tree payload sizes. data must stay alive
+// and unchanged for the engine's whole lifetime (for a real mapping, keep
+// the mapping open; OpenFile manages that automatically). Indexes older
+// than the aligned format return ErrNotMappable.
+func LoadMapped(data []byte, cfg Config) (*Engine, error) {
+	doc, err := xmltree.ReadIndexMapped(persist.EnsureAligned(data), cfg.treeOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{Doc: doc, opts: cfg}, nil
+}
+
+// OpenFile opens an index file for querying with the fastest available
+// path: the file is memory-mapped (or, on platforms without mmap, read
+// into one aligned buffer) and loaded zero-copy via LoadMapped, so opening
+// a multi-gigabyte index costs only its derived directories and restarts
+// hit the OS page cache instead of re-reading the index. Pre-aligned-
+// layout files, big-endian hosts, and cfg.NoMmap all fall back to the
+// copying load. The engine owns the mapping; release it with Close once
+// the engine is no longer in use.
+func OpenFile(path string, cfg Config) (*Engine, error) {
+	if cfg.NoMmap {
+		return LoadFile(path, cfg)
+	}
+	m, err := mmap.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := LoadMapped(m.Data(), cfg)
+	if err == nil {
+		eng.backing = m
+		// Fallback release: once the document — the object whose slices
+		// alias the mapping, shared by every clone and compiled query — is
+		// unreachable, unmap. This is what keeps a long-running service
+		// that replaces documents (collection.Add over an existing name)
+		// from accumulating dead mappings; explicit Close stays available
+		// for deterministic release and the two compose because Close is
+		// idempotent. Caveat: a caller that keeps an aliased []byte (e.g. a
+		// Doc.Text result) without keeping the engine or document alive has
+		// already broken the documented lifetime contract.
+		runtime.SetFinalizer(eng.Doc, func(*xmltree.Doc) { m.Close() })
+		return eng, nil
+	}
+	if errors.Is(err, ErrNotMappable) {
+		// Old unaligned container: decode it the copying way, straight out
+		// of the mapped bytes, then drop the mapping.
+		eng, err = Load(bytes.NewReader(m.Data()), cfg)
+	}
+	m.Close()
+	return eng, err
+}
+
+// Mapped reports whether the engine's payloads alias a mapped (or aligned
+// fallback) buffer rather than private heap memory.
+func (e *Engine) Mapped() bool { return e.Doc.MappedBytes() > 0 }
+
+// Close releases the mapping behind a mapped engine; it is a no-op for
+// heap-loaded engines and is idempotent. The caller must guarantee that
+// neither the engine nor any clone of it is used afterwards — their
+// payloads point into the released region.
+func (e *Engine) Close() error {
+	if e.backing == nil {
+		return nil
+	}
+	err := e.backing.Close()
+	e.backing = nil
+	return err
 }
 
 // IsIndexData reports whether data begins with the saved-index magic, i.e.
@@ -162,20 +287,27 @@ func (e *Engine) Serialize(query string, w io.Writer) (int, error) {
 }
 
 // Stats describes the in-memory footprint of the index components
-// (Figure 8's memory column).
+// (Figure 8's memory column). For mapped engines, Mapped is true,
+// MappedBytes is the size of the aliased index file, and HeapBytes
+// estimates the private memory left over (the derived directories): the
+// component byte counts include the aliased payloads, so heap usage is
+// their total minus the mapping.
 type Stats struct {
-	Nodes      int `json:"nodes"`
-	Texts      int `json:"texts"`
-	Tags       int `json:"tags"`
-	TreeBytes  int `json:"tree_bytes"`
-	TextBytes  int `json:"text_bytes"` // FM-index
-	PlainBytes int `json:"plain_bytes"`
+	Nodes       int  `json:"nodes"`
+	Texts       int  `json:"texts"`
+	Tags        int  `json:"tags"`
+	TreeBytes   int  `json:"tree_bytes"`
+	TextBytes   int  `json:"text_bytes"` // FM-index
+	PlainBytes  int  `json:"plain_bytes"`
+	Mapped      bool `json:"mapped"`
+	MappedBytes int  `json:"mapped_bytes"`
+	HeapBytes   int  `json:"heap_bytes"`
 }
 
 // Stats reports index statistics.
 func (e *Engine) Stats() Stats {
 	tree, text, plain := e.Doc.SizeInBytes()
-	return Stats{
+	st := Stats{
 		Nodes:      e.Doc.NumNodes(),
 		Texts:      e.Doc.NumTexts(),
 		Tags:       e.Doc.NumTags(),
@@ -183,6 +315,10 @@ func (e *Engine) Stats() Stats {
 		TextBytes:  text,
 		PlainBytes: plain,
 	}
+	st.MappedBytes = e.Doc.MappedBytes()
+	st.Mapped = st.MappedBytes > 0
+	st.HeapBytes = max(0, tree+text+plain-st.MappedBytes)
+	return st
 }
 
 // cloneQueryOptions deep-copies the reference-typed parts of query options

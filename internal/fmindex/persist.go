@@ -59,7 +59,7 @@ type storedTree interface {
 // override a structurally stored wavelet tree). A nil builder keeps the
 // stored wavelet tree as is. On corrupt input Read returns nil and leaves
 // the error in pr.
-func Read(pr *persist.Reader, builder SequenceBuilder) *Index {
+func Read(pr persist.Source, builder SequenceBuilder) *Index {
 	if pr.Check(pr.Byte() == indexFormat, "unknown fm-index format") != nil {
 		return nil
 	}
@@ -79,6 +79,30 @@ func Read(pr *persist.Reader, builder SequenceBuilder) *Index {
 	// cannot drive the BWT materialization below (size or index-wise).
 	if pr.Check(x.bs.Len() == x.n, "fm-index length mismatch") != nil {
 		return nil
+	}
+	// The sampling metadata is fully decoded here, so its validation and
+	// the text-start directory build are independent of the sequence
+	// decode below. On mapped sources — where this sits on the open-latency
+	// path — the two run concurrently; the goroutine must not touch pr.
+	done := make(chan sampleCheck, 1)
+	_, overlap := pr.(*persist.MReader)
+	drained := !overlap
+	// Every return path must join the goroutine: it reads slices that may
+	// alias a mapping the caller unmaps as soon as Read reports an error.
+	defer func() {
+		if !drained {
+			<-done
+		}
+	}()
+	if overlap {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					done <- sampleCheck{what: "fm-index sample validation failure"}
+				}
+			}()
+			done <- x.validateSamples()
+		}()
 	}
 	kind := pr.Byte()
 	switch kind {
@@ -114,62 +138,73 @@ func Read(pr *persist.Reader, builder SequenceBuilder) *Index {
 		pr.Check(false, "unknown bwt sequence kind")
 		return nil
 	}
-	if err := x.finishLoad(pr); err != nil {
+	var sc sampleCheck
+	if overlap {
+		sc = <-done
+		drained = true
+	} else {
+		sc = x.validateSamples()
+	}
+	if pr.Check(sc.what == "", sc.what) != nil {
 		return nil
 	}
-	return x
-}
-
-// finishLoad validates the decoded components against each other and
-// derives the redundant parts (C array, text-start positions).
-func (x *Index) finishLoad(pr *persist.Reader) error {
-	ok := x.bwt.Len() == x.n &&
-		len(x.lens) == x.d &&
-		len(x.doc) == x.d &&
-		x.bwt.Count(0) == x.d &&
-		x.bs.Len() == x.n &&
-		x.bs.Ones() == len(x.ps) &&
-		x.l > 0
-	if err := pr.Check(ok, "fm-index component mismatch"); err != nil {
-		return err
-	}
-	total := 0
-	for _, l := range x.lens {
-		if err := pr.Check(l >= 0, "negative text length"); err != nil {
-			return err
-		}
-		total += int(l) + 1
-	}
-	if x.d > 0 {
-		if err := pr.Check(total == x.n, "text lengths do not sum to collection size"); err != nil {
-			return err
-		}
-	}
-	for _, id := range x.doc {
-		if err := pr.Check(id >= 0 && int(id) < x.d, "doc identifier out of range"); err != nil {
-			return err
-		}
-	}
-	for _, p := range x.ps {
-		if err := pr.Check(p >= 0 && int(p) < x.n, "sampled position out of range"); err != nil {
-			return err
-		}
+	x.strt = sc.strt
+	if pr.Check(x.bwt.Len() == x.n && x.bwt.Count(0) == x.d, "fm-index component mismatch") != nil {
+		return nil
 	}
 	for c := 0; c < 256; c++ {
 		x.c[c+1] = x.c[c] + x.bwt.Count(byte(c))
 	}
-	starts := make([]int, x.d)
-	pos := 0
-	for i, l := range x.lens {
-		starts[i] = pos
-		pos += int(l) + 1
+	return x
+}
+
+// sampleCheck is the outcome of validateSamples: an empty what means the
+// metadata is consistent and strt is the text-start directory.
+type sampleCheck struct {
+	what string
+	strt *bitvec.Sparse
+}
+
+// validateSamples cross-checks the sampling metadata (text lengths, doc
+// identifiers, sampled positions) and builds the text-start sparse vector.
+// It depends only on fields decoded before the sequence payload and is
+// free of Source access, so the mapped load path overlaps it with the
+// wavelet decode.
+func (x *Index) validateSamples() sampleCheck {
+	if len(x.lens) != x.d || len(x.doc) != x.d || x.bs.Ones() != len(x.ps) || x.l <= 0 {
+		return sampleCheck{what: "fm-index component mismatch"}
+	}
+	total := 0
+	for _, l := range x.lens {
+		if l < 0 {
+			return sampleCheck{what: "negative text length"}
+		}
+		total += int(l) + 1
+	}
+	if x.d > 0 && total != x.n {
+		return sampleCheck{what: "text lengths do not sum to collection size"}
+	}
+	for _, id := range x.doc {
+		if id < 0 || int(id) >= x.d {
+			return sampleCheck{what: "doc identifier out of range"}
+		}
+	}
+	for _, p := range x.ps {
+		if p < 0 || int(p) >= x.n {
+			return sampleCheck{what: "sampled position out of range"}
+		}
 	}
 	if x.d == 0 {
-		x.strt = bitvec.NewSparse(1, nil)
-	} else {
-		x.strt = bitvec.NewSparse(x.n+1, starts)
+		return sampleCheck{strt: bitvec.NewSparse(1, nil)}
 	}
-	return nil
+	// Stream the text-start positions straight out of the lengths — no
+	// intermediate array; this sits on the mapped open-latency path.
+	pos := 0
+	return sampleCheck{strt: bitvec.NewSparseSeq(x.n+1, x.d, func(i int) int {
+		p := pos
+		pos += int(x.lens[i]) + 1
+		return p
+	})}
 }
 
 // Save serializes the index to w.

@@ -1,0 +1,64 @@
+package mmap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+)
+
+func TestOpenReadsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	want := bytes.Repeat([]byte("sxsi-mmap!"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !bytes.Equal(f.Data(), want) {
+		t.Fatal("data differs from file content")
+	}
+	if f.Size() != len(want) {
+		t.Fatalf("Size=%d want %d", f.Size(), len(want))
+	}
+	if uintptr(unsafe.Pointer(&f.Data()[0]))&7 != 0 {
+		t.Fatal("data base not 8-byte aligned")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 0 || f.Mapped() {
+		t.Fatalf("empty file: size=%d mapped=%v", f.Size(), f.Mapped())
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("missing file: expected error")
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("directory: expected error")
+	}
+}

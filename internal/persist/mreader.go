@@ -1,0 +1,335 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"unsafe"
+)
+
+// nativeIsLittle reports whether the host is little-endian. Payload aliasing
+// reinterprets on-disk little-endian words as host integers, so on a
+// big-endian host MReader transparently falls back to copying decodes.
+var nativeIsLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// MReader deserializes primitives from an in-memory buffer — typically an
+// mmap'd index file. It implements Source like the streaming Reader, with
+// one crucial difference: Words, Int32s, Bytes and Raw return slices that
+// alias the buffer instead of copying it, so loading a structure through an
+// MReader costs O(derived directories), not O(index size), and the pages
+// behind the payloads stay shared with the OS page cache.
+//
+// Aliasing []uint64 and []int32 requires the element start to sit on its
+// natural boundary in memory. The aligned container format guarantees the
+// right in-buffer offsets; the buffer itself must start 8-byte aligned
+// (mmap regions are page-aligned; heap fallbacks must allocate via
+// AlignedBuffer). When the buffer start is unaligned, or the host is
+// big-endian, or the reader is switched out of aligned mode, MReader
+// silently decodes by copying instead — callers still get correct data,
+// just not zero-copy.
+//
+// The returned slices share memory with the buffer: they are read-only and
+// valid only while the backing buffer (and any mapping behind it) stays
+// alive and unchanged. The first error sticks, as with Reader.
+type MReader struct {
+	data     []byte
+	off      int
+	aligned  bool
+	canAlias bool
+	err      error
+}
+
+// NewMReader returns an MReader over data, in aligned mode.
+func NewMReader(data []byte) *MReader {
+	mr := &MReader{data: data, aligned: true}
+	mr.canAlias = nativeIsLittle &&
+		(len(data) == 0 || uintptr(unsafe.Pointer(&data[0]))&7 == 0)
+	return mr
+}
+
+// Aliasing reports whether payload slices alias the buffer (as opposed to
+// the copying fallback for unaligned buffers or big-endian hosts).
+func (mr *MReader) Aliasing() bool { return mr.canAlias }
+
+// SetAligned switches the alignment mode of subsequent reads. Outside
+// aligned mode payloads have no alignment guarantee, so they are copied.
+func (mr *MReader) SetAligned(on bool) { mr.aligned = on }
+
+func (mr *MReader) fail(what string) {
+	if mr.err == nil {
+		mr.err = fmt.Errorf("%w: %s", ErrCorrupt, what)
+	}
+}
+
+// need reserves n more bytes, failing with a corruption error on overrun.
+func (mr *MReader) need(n int) bool {
+	if mr.err != nil {
+		return false
+	}
+	if n < 0 || n > len(mr.data)-mr.off {
+		mr.fail("unexpected end of input")
+		return false
+	}
+	return true
+}
+
+// align8 skips the padding emitted before a word-sized payload.
+func (mr *MReader) align8() {
+	if pad := -mr.off & 7; pad > 0 && mr.need(pad) {
+		mr.off += pad
+	}
+}
+
+// Byte reads a single byte.
+func (mr *MReader) Byte() byte {
+	if !mr.need(1) {
+		return 0
+	}
+	b := mr.data[mr.off]
+	mr.off++
+	return b
+}
+
+// Uint32 reads a fixed 4-byte little-endian value.
+func (mr *MReader) Uint32() uint32 {
+	if !mr.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(mr.data[mr.off:])
+	mr.off += 4
+	return v
+}
+
+// Uint64 reads a fixed 8-byte little-endian value.
+func (mr *MReader) Uint64() uint64 {
+	if !mr.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(mr.data[mr.off:])
+	mr.off += 8
+	return v
+}
+
+// Int reads a non-negative int, rejecting implausible values.
+func (mr *MReader) Int() int {
+	v := mr.Uint64()
+	if v > maxLen {
+		mr.fail(fmt.Sprintf("implausible length %d", v))
+		return 0
+	}
+	return int(v)
+}
+
+// Int32 reads an int32.
+func (mr *MReader) Int32() int32 { return int32(mr.Uint32()) }
+
+// Bytes reads a length-prefixed byte slice aliasing the buffer.
+func (mr *MReader) Bytes() []byte {
+	n := mr.Int()
+	return mr.Raw(n)
+}
+
+// String reads a length-prefixed string. Strings are copied — string
+// immutability must not depend on the mapping.
+func (mr *MReader) String() string { return string(mr.Bytes()) }
+
+// Raw returns exactly n unprefixed bytes aliasing the buffer.
+func (mr *MReader) Raw(n int) []byte {
+	if mr.err == nil && (n < 0 || n > maxLen) {
+		mr.fail(fmt.Sprintf("implausible raw length %d", n))
+	}
+	if n == 0 || !mr.need(n) {
+		return nil
+	}
+	b := mr.data[mr.off : mr.off+n : mr.off+n]
+	mr.off += n
+	return b
+}
+
+// Words reads a length-prefixed []uint64 aliasing the buffer (zero-copy on
+// aligned little-endian buffers, copied otherwise).
+func (mr *MReader) Words() []uint64 {
+	if mr.aligned {
+		mr.align8()
+	}
+	n := mr.Int()
+	if mr.err != nil || !mr.need(8*n) {
+		return nil
+	}
+	if n == 0 {
+		return []uint64{}
+	}
+	if mr.canAlias && mr.aligned && mr.off&7 == 0 {
+		ws := unsafe.Slice((*uint64)(unsafe.Pointer(&mr.data[mr.off])), n)
+		mr.off += 8 * n
+		return ws
+	}
+	ws := make([]uint64, n)
+	for i := range ws {
+		ws[i] = binary.LittleEndian.Uint64(mr.data[mr.off+8*i:])
+	}
+	mr.off += 8 * n
+	return ws
+}
+
+// Int32s reads a length-prefixed []int32 aliasing the buffer.
+func (mr *MReader) Int32s() []int32 {
+	if mr.aligned {
+		mr.align8()
+	}
+	n := mr.Int()
+	if mr.err != nil || !mr.need(4*n) {
+		return nil
+	}
+	if n == 0 {
+		return []int32{}
+	}
+	if mr.canAlias && mr.aligned && mr.off&3 == 0 {
+		xs := unsafe.Slice((*int32)(unsafe.Pointer(&mr.data[mr.off])), n)
+		mr.off += 4 * n
+		return xs
+	}
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(binary.LittleEndian.Uint32(mr.data[mr.off+4*i:]))
+	}
+	mr.off += 4 * n
+	return xs
+}
+
+// Err returns the first read error.
+func (mr *MReader) Err() error { return mr.err }
+
+// Check returns cond ? nil : a corruption error with the given context.
+func (mr *MReader) Check(cond bool, what string) error {
+	if mr.err != nil {
+		return mr.err
+	}
+	if !cond {
+		mr.fail(what)
+	}
+	return mr.err
+}
+
+// AlignedBuffer returns an 8-byte-aligned byte slice of length n, for
+// read-everything fallbacks that must feed an MReader without an mmap
+// region behind it.
+func AlignedBuffer(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	words := make([]uint64, (n+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}
+
+// EnsureAligned returns data if its base is 8-byte aligned, or an aligned
+// private copy otherwise. Mapped loads require the former; the copy keeps
+// odd callers (tests, fuzzing) correct at the cost of zero-copy.
+func EnsureAligned(data []byte) []byte {
+	if len(data) == 0 || uintptr(unsafe.Pointer(&data[0]))&7 == 0 {
+		return data
+	}
+	cp := AlignedBuffer(len(data))
+	copy(cp, data)
+	return cp
+}
+
+// Chunked runs fn over the index ranges of [0, n), split across the CPUs
+// when src is a mapped reader: mapped payloads are random-access and fully
+// bounds-checked up front, so validation and slicing passes over them
+// parallelize trivially. Streaming sources run fn(0, n) inline, keeping
+// the sequential load path exactly as it always was. fn must treat its
+// range as exclusive property; Chunked waits for all chunks.
+func Chunked(src Source, n int, fn func(lo, hi int)) {
+	const minChunk = 1 << 16
+	workers := runtime.GOMAXPROCS(0)
+	if _, mapped := src.(*MReader); !mapped || workers == 1 || n < 2*minChunk {
+		fn(0, n)
+		return
+	}
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// --- Mapped container ---
+
+// MappedFile walks the sections of an aligned container held in memory,
+// mirroring FileReader over a buffer. Sections decode through MReaders, so
+// payloads alias the buffer.
+type MappedFile struct {
+	data    []byte
+	pos     int
+	version uint16
+	aligned bool
+}
+
+// ErrNotMappable reports a container whose format version predates the
+// aligned layout: its payloads are not alignment-padded, so it cannot be
+// aliased and must be loaded through the copying path instead.
+var ErrNotMappable = fmt.Errorf("persist: container version predates the aligned layout")
+
+// OpenMappedContainer checks the magic and version of the container in
+// data and positions a section walker at the first section. Containers
+// older than alignedFrom return ErrNotMappable.
+func OpenMappedContainer(data []byte, magic string, maxVersion, alignedFrom uint16) (*MappedFile, error) {
+	if len(data) < len(magic)+2 {
+		return nil, fmt.Errorf("%w: missing magic", ErrCorrupt)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:len(magic)])
+	}
+	ver := binary.LittleEndian.Uint16(data[len(magic):])
+	if ver == 0 || ver > maxVersion {
+		return nil, fmt.Errorf("%w: unsupported format version %d (newest understood: %d)", ErrCorrupt, ver, maxVersion)
+	}
+	if alignedFrom == 0 || ver < alignedFrom {
+		return nil, ErrNotMappable
+	}
+	mf := &MappedFile{data: data, pos: len(magic) + 2, version: ver, aligned: true}
+	mf.pos += -mf.pos & 7 // header padding
+	return mf, nil
+}
+
+// Version returns the container's format version.
+func (mf *MappedFile) Version() uint16 { return mf.version }
+
+// Next returns the next section's id and an MReader over its payload, or
+// id 0 at the end marker.
+func (mf *MappedFile) Next() (uint32, *MReader, error) {
+	mf.pos += -mf.pos & 7
+	if mf.pos+4 > len(mf.data) {
+		return 0, nil, fmt.Errorf("%w: missing section header", ErrCorrupt)
+	}
+	id := binary.LittleEndian.Uint32(mf.data[mf.pos:])
+	mf.pos += 4
+	if id == 0 {
+		return 0, nil, nil
+	}
+	if mf.pos+12 > len(mf.data) {
+		return 0, nil, fmt.Errorf("%w: missing section header", ErrCorrupt)
+	}
+	length := binary.LittleEndian.Uint64(mf.data[mf.pos+4:])
+	mf.pos += 12
+	if length > maxLen || length > uint64(len(mf.data)-mf.pos) {
+		return 0, nil, fmt.Errorf("%w: truncated section", ErrCorrupt)
+	}
+	payload := mf.data[mf.pos : mf.pos+int(length) : mf.pos+int(length)]
+	mf.pos += int(length)
+	mr := NewMReader(payload)
+	return id, mr, nil
+}

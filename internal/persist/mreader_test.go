@@ -1,0 +1,311 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"unsafe"
+)
+
+// writeAligned serializes one of every primitive with an aligned Writer,
+// returning the stream and the expected values.
+func writeAligned(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	pw.SetAligned(true)
+	pw.Byte(0xAB)
+	pw.Words([]uint64{1, 1 << 63, 0})
+	pw.Uint32(7)
+	pw.Int32s([]int32{-1, 0, 1 << 30})
+	pw.Int(123456)
+	pw.Bytes([]byte("hello"))
+	pw.String("wörld")
+	pw.Words(nil)
+	pw.Raw([]byte{9, 8, 7})
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func checkAlignedStream(t *testing.T, pr Source) {
+	t.Helper()
+	if v := pr.Byte(); v != 0xAB {
+		t.Fatalf("Byte=%x", v)
+	}
+	if w := pr.Words(); len(w) != 3 || w[1] != 1<<63 {
+		t.Fatalf("Words=%v", w)
+	}
+	if v := pr.Uint32(); v != 7 {
+		t.Fatalf("Uint32=%d", v)
+	}
+	if xs := pr.Int32s(); len(xs) != 3 || xs[0] != -1 || xs[2] != 1<<30 {
+		t.Fatalf("Int32s=%v", xs)
+	}
+	if v := pr.Int(); v != 123456 {
+		t.Fatalf("Int=%d", v)
+	}
+	if b := pr.Bytes(); string(b) != "hello" {
+		t.Fatalf("Bytes=%q", b)
+	}
+	if s := pr.String(); s != "wörld" {
+		t.Fatalf("String=%q", s)
+	}
+	if w := pr.Words(); len(w) != 0 {
+		t.Fatalf("empty Words=%v", w)
+	}
+	if b := pr.Raw(3); !bytes.Equal(b, []byte{9, 8, 7}) {
+		t.Fatalf("Raw=%v", b)
+	}
+	if pr.Err() != nil {
+		t.Fatal(pr.Err())
+	}
+}
+
+// TestAlignedStreamBothReaders decodes one aligned stream through the
+// streaming Reader and the mapped MReader: the Source contract.
+func TestAlignedStreamBothReaders(t *testing.T) {
+	data := writeAligned(t)
+	pr := NewReader(bytes.NewReader(data))
+	pr.SetAligned(true)
+	checkAlignedStream(t, pr)
+
+	aligned := EnsureAligned(data)
+	checkAlignedStream(t, NewMReader(aligned))
+}
+
+// TestMReaderAliases proves the zero-copy property: the slices returned by
+// an aliasing MReader share memory with the buffer.
+func TestMReaderAliases(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	pw.SetAligned(true)
+	pw.Words([]uint64{11, 22})
+	pw.Int32s([]int32{33, 44})
+	pw.Bytes([]byte("payload"))
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := EnsureAligned(buf.Bytes())
+	mr := NewMReader(data)
+	if !mr.Aliasing() {
+		t.Skip("host cannot alias (big-endian)")
+	}
+	ws := mr.Words()
+	xs := mr.Int32s()
+	bs := mr.Bytes()
+	if mr.Err() != nil {
+		t.Fatal(mr.Err())
+	}
+	inBuf := func(p unsafe.Pointer) bool {
+		base := uintptr(unsafe.Pointer(&data[0]))
+		return uintptr(p) >= base && uintptr(p) < base+uintptr(len(data))
+	}
+	if !inBuf(unsafe.Pointer(&ws[0])) || !inBuf(unsafe.Pointer(&xs[0])) || !inBuf(unsafe.Pointer(&bs[0])) {
+		t.Fatal("payload slices do not alias the buffer")
+	}
+	if ws[0] != 11 || ws[1] != 22 || xs[0] != 33 || xs[1] != 44 || string(bs) != "payload" {
+		t.Fatalf("aliased values wrong: %v %v %q", ws, xs, bs)
+	}
+}
+
+// TestMReaderUnalignedBaseCopies: a buffer with a misaligned base must
+// still decode correctly (by copying).
+func TestMReaderUnalignedBaseCopies(t *testing.T) {
+	data := writeAligned(t)
+	backing := make([]byte, len(data)+1)
+	copy(backing[1:], data)
+	mr := NewMReader(backing[1:])
+	if mr.Aliasing() {
+		t.Skip("allocator produced an aligned odd slice; nothing to test")
+	}
+	checkAlignedStream(t, mr)
+}
+
+// TestMReaderTruncation: every proper prefix fails with ErrCorrupt and
+// never panics or over-reads.
+func TestMReaderTruncation(t *testing.T) {
+	data := writeAligned(t)
+	for cut := 0; cut < len(data); cut++ {
+		mr := NewMReader(EnsureAligned(data[:cut]))
+		mr.Byte()
+		mr.Words()
+		mr.Uint32()
+		mr.Int32s()
+		mr.Int()
+		mr.Bytes()
+		_ = mr.String()
+		mr.Words()
+		mr.Raw(3)
+		if !errors.Is(mr.Err(), ErrCorrupt) {
+			t.Fatalf("cut=%d err=%v", cut, mr.Err())
+		}
+	}
+}
+
+// TestMReaderImplausibleLength mirrors the streaming reader's cap.
+func TestMReaderImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	pw.Uint64(1 << 62)
+	pw.Flush()
+	mr := NewMReader(EnsureAligned(buf.Bytes()))
+	mr.SetAligned(false)
+	if b := mr.Bytes(); b != nil || !errors.Is(mr.Err(), ErrCorrupt) {
+		t.Fatalf("b=%v err=%v", b, mr.Err())
+	}
+}
+
+// TestAlignedContainerRoundTrip writes an aligned container and reads it
+// back through both FileReader and OpenMappedContainer, checking payload
+// alignment along the way.
+func TestAlignedContainerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf, "MAGIC!", 3, true)
+	fw.Section(1, func(pw *Writer) { pw.String("one") })
+	fw.Section(9, func(pw *Writer) { pw.Int(99) })
+	fw.Section(2, func(pw *Writer) { pw.Byte(1); pw.Words([]uint64{5, 6}) })
+	n, err := fw.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if n != int64(len(data)) {
+		t.Fatalf("Close reported %d bytes, wrote %d", n, len(data))
+	}
+
+	// Streaming read with alignment from version 3 on.
+	fr, err := NewFileReader(bytes.NewReader(data), "MAGIC!", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, pr, err := fr.Next()
+	if err != nil || id != 1 || pr.String() != "one" {
+		t.Fatalf("section 1: id=%d err=%v", id, err)
+	}
+	id, _, err = fr.Next() // skip the unknown section by length
+	if err != nil || id != 9 {
+		t.Fatalf("section 9: id=%d err=%v", id, err)
+	}
+	id, pr, err = fr.Next()
+	if err != nil || id != 2 || pr.Byte() != 1 {
+		t.Fatalf("section 2: id=%d err=%v", id, err)
+	}
+	if w := pr.Words(); len(w) != 2 || w[0] != 5 || w[1] != 6 {
+		t.Fatalf("section 2 payload: %v", w)
+	}
+	if id, _, err = fr.Next(); err != nil || id != 0 {
+		t.Fatalf("end: id=%d err=%v", id, err)
+	}
+
+	// Mapped read.
+	mf, err := OpenMappedContainer(EnsureAligned(data), "MAGIC!", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, mr, err := mf.Next()
+	if err != nil || id != 1 || mr.String() != "one" {
+		t.Fatalf("mapped section 1: id=%d err=%v", id, err)
+	}
+	id, _, err = mf.Next()
+	if err != nil || id != 9 {
+		t.Fatalf("mapped section 9: id=%d err=%v", id, err)
+	}
+	id, mr, err = mf.Next()
+	if err != nil || id != 2 || mr.Byte() != 1 {
+		t.Fatalf("mapped section 2: id=%d err=%v", id, err)
+	}
+	if w := mr.Words(); len(w) != 2 || w[1] != 6 {
+		t.Fatalf("mapped section 2 payload: %v", w)
+	}
+	if id, _, err = mf.Next(); err != nil || id != 0 {
+		t.Fatalf("mapped end: id=%d err=%v", id, err)
+	}
+}
+
+// TestOpenMappedContainerRejects: wrong magic, future version, unaligned
+// (old) version, truncations.
+func TestOpenMappedContainerRejects(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFileWriter(&buf, "MAGIC!", 3, true)
+	fw.Section(1, func(pw *Writer) { pw.Words(make([]uint64, 64)) })
+	fw.Close()
+	data := EnsureAligned(buf.Bytes())
+
+	if _, err := OpenMappedContainer([]byte("WRONG!aa"), "MAGIC!", 3, 3); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := OpenMappedContainer(data, "MAGIC!", 2, 2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future version: %v", err)
+	}
+
+	var old bytes.Buffer
+	ow := NewFileWriter(&old, "MAGIC!", 2, false)
+	ow.Section(1, func(pw *Writer) { pw.Int(1) })
+	ow.Close()
+	if _, err := OpenMappedContainer(EnsureAligned(old.Bytes()), "MAGIC!", 3, 3); !errors.Is(err, ErrNotMappable) {
+		t.Fatalf("old version: %v", err)
+	}
+
+	for cut := 0; cut < len(data); cut++ {
+		mf, err := OpenMappedContainer(EnsureAligned(data[:cut]), "MAGIC!", 3, 3)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut=%d header err=%v", cut, err)
+			}
+			continue
+		}
+		detected := false
+		for {
+			id, mr, err := mf.Next()
+			if err != nil {
+				detected = errors.Is(err, ErrCorrupt)
+				break
+			}
+			if id == 0 {
+				break
+			}
+			mr.Words()
+			if mr.Err() != nil {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			t.Fatalf("cut=%d: truncation not detected", cut)
+		}
+	}
+}
+
+// TestUnalignedWriterUnchanged pins that non-aligned serialization is
+// byte-for-byte what it was before alignment existed: no padding anywhere.
+func TestUnalignedWriterUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewWriter(&buf)
+	pw.Byte(1)
+	pw.Words([]uint64{2})
+	pw.Int32s([]int32{3})
+	pw.Flush()
+	// byte + (len + word) + (len + int32) with no padding
+	if want := 1 + 8 + 8 + 8 + 4; buf.Len() != want {
+		t.Fatalf("unaligned stream is %d bytes, want %d", buf.Len(), want)
+	}
+}
+
+func TestEnsureAligned(t *testing.T) {
+	if EnsureAligned(nil) != nil {
+		t.Fatal("nil should stay nil")
+	}
+	backing := make([]byte, 17)
+	for i := range backing {
+		backing[i] = byte(i)
+	}
+	got := EnsureAligned(backing[1:])
+	if uintptr(unsafe.Pointer(&got[0]))&7 != 0 {
+		t.Fatal("result not aligned")
+	}
+	if !bytes.Equal(got, backing[1:]) {
+		t.Fatal("copy differs")
+	}
+}

@@ -8,6 +8,18 @@
 // wavelet, tags, fmindex, wordindex, xmltree) builds its Save/Load on these
 // primitives.
 //
+// There are two read paths over the same logical layout. The streaming
+// Reader decodes from an io.Reader into freshly allocated memory; the
+// MReader (mreader.go) decodes from a byte buffer — typically an mmap'd
+// file — and aliases its word and int32 payloads instead of copying them.
+// Structure loaders are written once against the Source interface and work
+// over both. Aliasing requires the payloads to sit on their natural
+// boundaries, which is what aligned mode provides: Words and Int32s pad
+// the stream to an 8-byte boundary before their length prefix, and the
+// aligned container gives every section an 8-byte-aligned payload start.
+// Alignment is a property of the enclosing format version, not of the
+// primitives, so pre-alignment files keep decoding byte-for-byte as before.
+//
 // All corruption and truncation conditions surface as errors wrapping
 // ErrCorrupt; no input may cause a panic or an unbounded allocation.
 package persist
@@ -38,11 +50,21 @@ const allocChunk = 1 << 20
 // Writer serializes primitives to an underlying stream. The first write
 // error sticks; check Err (or Flush) once at the end instead of after every
 // call.
+//
+// In aligned mode (SetAligned) the word-sized slice primitives pad the
+// stream to an 8-byte boundary before their length prefix, so that a reader
+// over a buffer whose start is 8-byte aligned can alias the payloads in
+// place. Alignment is relative to the Writer's own first byte; enclosing
+// formats must place that first byte on an 8-byte file offset (the aligned
+// container does).
 type Writer struct {
-	w   *bufio.Writer
-	n   int64
-	err error
+	w       *bufio.Writer
+	n       int64
+	aligned bool
+	err     error
 }
+
+var zeroPad [8]byte
 
 // NewWriter returns a buffered Writer over w.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
@@ -54,6 +76,17 @@ func (pw *Writer) write(b []byte) {
 	n, err := pw.w.Write(b)
 	pw.n += int64(n)
 	pw.err = err
+}
+
+// SetAligned switches the alignment mode of subsequent writes.
+func (pw *Writer) SetAligned(on bool) { pw.aligned = on }
+
+// align8 pads the stream with zero bytes to the next 8-byte boundary
+// relative to the Writer's first byte.
+func (pw *Writer) align8() {
+	if pad := int(-pw.n & 7); pad > 0 {
+		pw.write(zeroPad[:pad])
+	}
 }
 
 // Uint64 writes a fixed 8-byte little-endian value.
@@ -99,8 +132,13 @@ func (pw *Writer) String(s string) {
 	}
 }
 
-// Words writes a length-prefixed []uint64.
+// Words writes a length-prefixed []uint64. In aligned mode the length
+// prefix is padded onto an 8-byte boundary, which puts the payload on one
+// too.
 func (pw *Writer) Words(ws []uint64) {
+	if pw.aligned {
+		pw.align8()
+	}
 	pw.Int(len(ws))
 	var b [8]byte
 	for _, x := range ws {
@@ -109,8 +147,11 @@ func (pw *Writer) Words(ws []uint64) {
 	}
 }
 
-// Int32s writes a length-prefixed []int32.
+// Int32s writes a length-prefixed []int32, aligned like Words.
 func (pw *Writer) Int32s(xs []int32) {
+	if pw.aligned {
+		pw.align8()
+	}
 	pw.Int(len(xs))
 	var b [4]byte
 	for _, x := range xs {
@@ -135,6 +176,32 @@ func (pw *Writer) Flush() error {
 	return pw.err
 }
 
+// --- Source ---
+
+// Source is the decoding interface the structure loaders are written
+// against. Two implementations exist: the streaming Reader, which copies
+// every payload into fresh memory, and the buffer-backed MReader, which
+// aliases word-sized payloads directly out of its (typically mmap'd)
+// buffer. A loader built on Source therefore serves both the copying Load
+// path and the zero-copy LoadMapped path with one body.
+type Source interface {
+	Byte() byte
+	Uint32() uint32
+	Uint64() uint64
+	Int() int
+	Int32() int32
+	Bytes() []byte
+	String() string
+	Raw(n int) []byte
+	Words() []uint64
+	Int32s() []int32
+	// SetAligned switches alignment-aware decoding of Words/Int32s; formats
+	// that embed their own version byte use it after reading that byte.
+	SetAligned(on bool)
+	Err() error
+	Check(cond bool, what string) error
+}
+
 // --- Reader ---
 
 // Reader deserializes primitives written by Writer. The first error sticks
@@ -142,8 +209,10 @@ func (pw *Writer) Flush() error {
 // read, or rely on the validation the caller performs on the decoded
 // values.
 type Reader struct {
-	r   io.Reader
-	err error
+	r       io.Reader
+	off     int64
+	aligned bool
+	err     error
 }
 
 // NewReader returns a Reader over r. The stream is buffered unless it
@@ -168,11 +237,26 @@ func (pr *Reader) read(b []byte) bool {
 	if pr.err != nil {
 		return false
 	}
-	if _, err := io.ReadFull(pr.r, b); err != nil {
+	n, err := io.ReadFull(pr.r, b)
+	pr.off += int64(n)
+	if err != nil {
 		pr.fail(err)
 		return false
 	}
 	return true
+}
+
+// SetAligned switches the alignment mode of subsequent reads.
+func (pr *Reader) SetAligned(on bool) { pr.aligned = on }
+
+// align8 discards the padding bytes a Writer in aligned mode emitted before
+// a word-sized payload. Offsets are relative to the Reader's first byte,
+// mirroring the Writer.
+func (pr *Reader) align8() {
+	if pad := int(-pr.off & 7); pad > 0 {
+		var b [8]byte
+		pr.read(b[:pad])
+	}
 }
 
 // Uint64 reads a fixed 8-byte little-endian value.
@@ -275,6 +359,9 @@ func (pr *Reader) Raw(n int) []byte {
 
 // Words reads a length-prefixed []uint64.
 func (pr *Reader) Words() []uint64 {
+	if pr.aligned {
+		pr.align8()
+	}
 	n := pr.Int()
 	if pr.err != nil {
 		return nil
@@ -292,6 +379,9 @@ func (pr *Reader) Words() []uint64 {
 
 // Int32s reads a length-prefixed []int32.
 func (pr *Reader) Int32s() []int32 {
+	if pr.aligned {
+		pr.align8()
+	}
 	n := pr.Int()
 	if pr.err != nil {
 		return nil
@@ -325,7 +415,7 @@ func (pr *Reader) Check(cond bool, what string) error {
 
 // --- Sectioned container ---
 
-// The container layout is:
+// The classic (unaligned) container layout is:
 //
 //	magic   [len(magic)]byte
 //	version uint16
@@ -334,6 +424,21 @@ func (pr *Reader) Check(cond bool, what string) error {
 //	    length  uint64  (payload bytes)
 //	    payload [length]byte
 //	end     uint32(0)
+//
+// The aligned layout — used by format versions at or above the caller's
+// alignment cutover — keeps every section payload on an 8-byte file offset
+// so a buffer-backed reader can alias word payloads in place:
+//
+//	magic   [len(magic)]byte
+//	version uint16
+//	pad     to an 8-byte offset
+//	section*:
+//	    pad      to an 8-byte offset
+//	    id       uint32  (nonzero)
+//	    reserved uint32  (zero)
+//	    length   uint64  (payload bytes)
+//	    payload  [length]byte        (starts 8-byte aligned)
+//	end     pad to an 8-byte offset, then uint32(0)
 //
 // Readers iterate sections by id, skipping unknown ones by their length;
 // an unexpected magic or a version above the reader's maximum is reported
@@ -345,19 +450,23 @@ func (pr *Reader) Check(cond bool, what string) error {
 // index container). A seekable-writer backpatching fast path can remove
 // that if it ever matters.
 type FileWriter struct {
-	w   io.Writer
-	n   int64
-	err error
-	buf bytes.Buffer
+	w       io.Writer
+	n       int64
+	aligned bool
+	err     error
+	buf     bytes.Buffer
 }
 
 // NewFileWriter writes the header (magic + version) and returns the writer.
-func NewFileWriter(w io.Writer, magic string, version uint16) *FileWriter {
-	fw := &FileWriter{w: w}
+// With aligned set, the aligned layout is used and every section payload is
+// serialized by an aligned Writer.
+func NewFileWriter(w io.Writer, magic string, version uint16, aligned bool) *FileWriter {
+	fw := &FileWriter{w: w, aligned: aligned}
 	fw.writeAll([]byte(magic))
 	var v [2]byte
 	binary.LittleEndian.PutUint16(v[:], version)
 	fw.writeAll(v[:])
+	fw.pad8()
 	return fw
 }
 
@@ -370,6 +479,16 @@ func (fw *FileWriter) writeAll(b []byte) {
 	fw.err = err
 }
 
+// pad8 advances to the next 8-byte file offset in aligned mode.
+func (fw *FileWriter) pad8() {
+	if !fw.aligned {
+		return
+	}
+	if pad := int(-fw.n & 7); pad > 0 {
+		fw.writeAll(zeroPad[:pad])
+	}
+}
+
 // Section writes one section: fn serializes the payload into a Writer, and
 // the section header (id, byte length) is emitted before the payload.
 func (fw *FileWriter) Section(id uint32, fn func(*Writer)) {
@@ -378,20 +497,30 @@ func (fw *FileWriter) Section(id uint32, fn func(*Writer)) {
 	}
 	fw.buf.Reset()
 	pw := NewWriter(&fw.buf)
+	pw.SetAligned(fw.aligned)
 	fn(pw)
 	if err := pw.Flush(); err != nil {
 		fw.err = err
 		return
 	}
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], id)
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(fw.buf.Len()))
-	fw.writeAll(hdr[:])
+	fw.pad8()
+	if fw.aligned {
+		var hdr [16]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], id)
+		binary.LittleEndian.PutUint64(hdr[8:16], uint64(fw.buf.Len()))
+		fw.writeAll(hdr[:])
+	} else {
+		var hdr [12]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], id)
+		binary.LittleEndian.PutUint64(hdr[4:12], uint64(fw.buf.Len()))
+		fw.writeAll(hdr[:])
+	}
 	fw.writeAll(fw.buf.Bytes())
 }
 
 // Close writes the end marker and returns the total bytes written.
 func (fw *FileWriter) Close() (int64, error) {
+	fw.pad8()
 	var end [4]byte
 	fw.writeAll(end[:])
 	return fw.n, fw.err
@@ -401,13 +530,16 @@ func (fw *FileWriter) Close() (int64, error) {
 type FileReader struct {
 	r       *bufio.Reader
 	version uint16
+	aligned bool
+	off     int64 // absolute bytes consumed from the underlying stream
 	cur     int64 // unread bytes of the current section
 }
 
 // NewFileReader checks the magic and version and positions the reader at
 // the first section. maxVersion is the newest format the caller
-// understands.
-func NewFileReader(r io.Reader, magic string, maxVersion uint16) (*FileReader, error) {
+// understands; versions at or above alignedFrom (when nonzero) use the
+// aligned layout.
+func NewFileReader(r io.Reader, magic string, maxVersion, alignedFrom uint16) (*FileReader, error) {
 	br := bufio.NewReader(r)
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
@@ -424,41 +556,77 @@ func NewFileReader(r io.Reader, magic string, maxVersion uint16) (*FileReader, e
 	if ver == 0 || ver > maxVersion {
 		return nil, fmt.Errorf("%w: unsupported format version %d (newest understood: %d)", ErrCorrupt, ver, maxVersion)
 	}
-	return &FileReader{r: br, version: ver}, nil
+	fr := &FileReader{r: br, version: ver, off: int64(len(magic)) + 2}
+	fr.aligned = alignedFrom != 0 && ver >= alignedFrom
+	if err := fr.skipPad(); err != nil {
+		return nil, err
+	}
+	return fr, nil
 }
 
 // Version returns the container's format version.
 func (fr *FileReader) Version() uint16 { return fr.version }
+
+// skipPad discards alignment padding up to the next 8-byte offset.
+func (fr *FileReader) skipPad() error {
+	if !fr.aligned {
+		return nil
+	}
+	if pad := int64(-fr.off & 7); pad > 0 {
+		n, err := io.CopyN(io.Discard, fr.r, pad)
+		fr.off += n
+		if err != nil {
+			return fmt.Errorf("%w: truncated padding", ErrCorrupt)
+		}
+	}
+	return nil
+}
 
 // Next skips any unread remainder of the current section and returns the
 // next section's id and a Reader limited to its payload. It returns id 0
 // at the end marker.
 func (fr *FileReader) Next() (uint32, *Reader, error) {
 	if fr.cur > 0 {
-		if _, err := io.CopyN(io.Discard, fr.r, fr.cur); err != nil {
+		n, err := io.CopyN(io.Discard, fr.r, fr.cur)
+		fr.off += n
+		if err != nil {
 			return 0, nil, fmt.Errorf("%w: truncated section", ErrCorrupt)
 		}
 		fr.cur = 0
+	}
+	if err := fr.skipPad(); err != nil {
+		return 0, nil, err
 	}
 	var idb [4]byte
 	if _, err := io.ReadFull(fr.r, idb[:]); err != nil {
 		return 0, nil, fmt.Errorf("%w: missing section header", ErrCorrupt)
 	}
+	fr.off += 4
 	id := binary.LittleEndian.Uint32(idb[:])
 	if id == 0 {
 		return 0, nil, nil
+	}
+	if fr.aligned {
+		var resb [4]byte
+		if _, err := io.ReadFull(fr.r, resb[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: missing section header", ErrCorrupt)
+		}
+		fr.off += 4
 	}
 	var lb [8]byte
 	if _, err := io.ReadFull(fr.r, lb[:]); err != nil {
 		return 0, nil, fmt.Errorf("%w: missing section length", ErrCorrupt)
 	}
+	fr.off += 8
 	length := binary.LittleEndian.Uint64(lb[:])
 	if length > maxLen {
 		return 0, nil, fmt.Errorf("%w: implausible section length %d", ErrCorrupt, length)
 	}
 	fr.cur = int64(length)
 	lr := &countingLimitReader{fr: fr, r: io.LimitReader(fr.r, int64(length))}
-	return id, NewReader(lr), nil
+	pr := NewReader(lr)
+	pr.SetAligned(fr.aligned)
+	return id, pr, nil
 }
 
 // countingLimitReader tracks how much of the section the consumer has read
@@ -471,6 +639,7 @@ type countingLimitReader struct {
 func (c *countingLimitReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.fr.cur -= int64(n)
+	c.fr.off += int64(n)
 	if err == io.EOF && c.fr.cur == 0 {
 		// A fully consumed section is a clean EOF for the section reader.
 		return n, io.EOF

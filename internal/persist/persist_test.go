@@ -105,7 +105,7 @@ func TestReaderErrorSticks(t *testing.T) {
 
 func TestContainerRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	fw := NewFileWriter(&buf, "MAGIC!", 3)
+	fw := NewFileWriter(&buf, "MAGIC!", 3, false)
 	fw.Section(1, func(pw *Writer) { pw.String("one") })
 	fw.Section(9, func(pw *Writer) { pw.Int(99) })
 	fw.Section(2, func(pw *Writer) { pw.Words([]uint64{5, 6}) })
@@ -117,7 +117,7 @@ func TestContainerRoundTrip(t *testing.T) {
 		t.Fatalf("Close reported %d bytes, wrote %d", n, buf.Len())
 	}
 
-	fr, err := NewFileReader(&buf, "MAGIC!", 3)
+	fr, err := NewFileReader(&buf, "MAGIC!", 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,25 +148,25 @@ func TestContainerRoundTrip(t *testing.T) {
 
 func TestContainerBadHeader(t *testing.T) {
 	var buf bytes.Buffer
-	fw := NewFileWriter(&buf, "MAGIC!", 2)
+	fw := NewFileWriter(&buf, "MAGIC!", 2, false)
 	fw.Section(1, func(pw *Writer) { pw.Int(1) })
 	fw.Close()
 	data := buf.Bytes()
 
-	if _, err := NewFileReader(bytes.NewReader([]byte("WRONG!....")), "MAGIC!", 2); !errors.Is(err, ErrCorrupt) {
+	if _, err := NewFileReader(bytes.NewReader([]byte("WRONG!....")), "MAGIC!", 2, 0); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("bad magic: %v", err)
 	}
-	if _, err := NewFileReader(bytes.NewReader(data), "MAGIC!", 1); !errors.Is(err, ErrCorrupt) {
+	if _, err := NewFileReader(bytes.NewReader(data), "MAGIC!", 1, 0); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("future version: %v", err)
 	}
-	if _, err := NewFileReader(bytes.NewReader(data[:3]), "MAGIC!", 2); !errors.Is(err, ErrCorrupt) {
+	if _, err := NewFileReader(bytes.NewReader(data[:3]), "MAGIC!", 2, 0); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("truncated magic: %v", err)
 	}
 }
 
 func TestContainerTruncatedSection(t *testing.T) {
 	var buf bytes.Buffer
-	fw := NewFileWriter(&buf, "MAGIC!", 1)
+	fw := NewFileWriter(&buf, "MAGIC!", 1, false)
 	fw.Section(1, func(pw *Writer) { pw.Bytes(make([]byte, 500)) })
 	fw.Section(2, func(pw *Writer) { pw.Int(2) })
 	fw.Close()
@@ -174,7 +174,7 @@ func TestContainerTruncatedSection(t *testing.T) {
 	// Every proper prefix of the stream must surface ErrCorrupt somewhere —
 	// at the header, at a section header, or inside a payload read.
 	for cut := 0; cut < len(data); cut++ {
-		fr, err := NewFileReader(bytes.NewReader(data[:cut]), "MAGIC!", 1)
+		fr, err := NewFileReader(bytes.NewReader(data[:cut]), "MAGIC!", 1, 0)
 		if err != nil {
 			if !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("cut=%d header err=%v", cut, err)

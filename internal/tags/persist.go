@@ -2,6 +2,7 @@ package tags
 
 import (
 	"io"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/persist"
@@ -29,7 +30,7 @@ func (s *Sequence) Store(pw *persist.Writer) {
 
 // Read reads a sequence written by Store. On corrupt input it returns nil
 // and leaves the error in pr.
-func Read(pr *persist.Reader) *Sequence {
+func Read(pr persist.Source) *Sequence {
 	if pr.Check(pr.Byte() == sequenceFormat, "unknown tag sequence format") != nil {
 		return nil
 	}
@@ -53,13 +54,21 @@ func Read(pr *persist.Reader) *Sequence {
 	}
 	s.width = uint(w)
 	// Every packed id must be in range: consumers index per-tag arrays with
-	// Access results. Skip the scan when the width makes all values legal.
+	// Access results. Skip the scan when the width makes all values legal;
+	// on mapped sources the scan is chunked across the CPUs — it is pure
+	// reads over an aliased array and sits on the open-latency path.
 	if s.maxTagID < 1<<s.width {
-		for i := 0; i < s.n; i++ {
-			if int(s.Access(i)) >= s.maxTagID {
-				pr.Check(false, "tag identifier out of range")
-				return nil
+		var bad atomic.Bool
+		persist.Chunked(pr, s.n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if int(s.Access(i)) >= s.maxTagID {
+					bad.Store(true)
+					return
+				}
 			}
+		})
+		if pr.Check(!bad.Load(), "tag identifier out of range") != nil {
+			return nil
 		}
 	}
 	s.rows = make([]*bitvec.Sparse, s.maxTagID)

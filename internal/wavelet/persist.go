@@ -38,7 +38,7 @@ func (t *Tree) Store(pw *persist.Writer) {
 
 // Read reads a tree written by Store. On corrupt input it returns nil and
 // leaves the error in pr.
-func Read(pr *persist.Reader) *Tree {
+func Read(pr persist.Source) *Tree {
 	if pr.Check(pr.Byte() == treeFormat, "unknown wavelet tree format") != nil {
 		return nil
 	}

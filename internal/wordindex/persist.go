@@ -9,12 +9,22 @@ import (
 // On-disk layout: the vocabulary (in id order), the id sequence, the
 // word-level suffix array and the per-position text ids. Loading restores
 // the structure directly, skipping the suffix sort of New.
+//
+// Format 2 is the aligned layout: the int32 arrays are padded onto 8-byte
+// offsets so LoadMapped can alias them out of a mapped buffer. Format 1
+// (unaligned) files keep loading through the copying path.
 
-const wordIndexFormat = 1
+const (
+	wordIndexFormat        = 1
+	wordIndexFormatAligned = 2
+)
 
-// Store serializes the index into pw.
+// Store serializes the index into pw in the aligned layout. The writer's
+// first byte must sit on an 8-byte offset (stream start or an aligned
+// container section) for the alignment to carry to disk.
 func (ix *Index) Store(pw *persist.Writer) {
-	pw.Byte(wordIndexFormat)
+	pw.Byte(wordIndexFormatAligned)
+	pw.SetAligned(true)
 	pw.Int(ix.d)
 	words := make([]string, len(ix.vocab))
 	for w, id := range ix.vocab {
@@ -29,12 +39,15 @@ func (ix *Index) Store(pw *persist.Writer) {
 	pw.Int32s(ix.textOf)
 }
 
-// Read reads an index written by Store. On corrupt input it returns nil
-// and leaves the error in pr.
-func Read(pr *persist.Reader) *Index {
-	if pr.Check(pr.Byte() == wordIndexFormat, "unknown word index format") != nil {
+// Read reads an index written by Store (either format). On corrupt input
+// it returns nil and leaves the error in pr.
+func Read(pr persist.Source) *Index {
+	format := pr.Byte()
+	if pr.Check(format == wordIndexFormat || format == wordIndexFormatAligned,
+		"unknown word index format") != nil {
 		return nil
 	}
+	pr.SetAligned(format == wordIndexFormatAligned)
 	ix := &Index{vocab: map[string]int32{}}
 	ix.d = pr.Int()
 	nWords := pr.Int()
@@ -93,6 +106,18 @@ func Load(r io.Reader) (*Index, error) {
 	ix := Read(pr)
 	if pr.Err() != nil {
 		return nil, pr.Err()
+	}
+	return ix, nil
+}
+
+// LoadMapped reads an aligned-format index out of data, aliasing the int32
+// arrays instead of copying them. data — typically an mmap'd file — must
+// stay alive and unchanged for the lifetime of the index.
+func LoadMapped(data []byte) (*Index, error) {
+	mr := persist.NewMReader(data)
+	ix := Read(mr)
+	if mr.Err() != nil {
+		return nil, mr.Err()
 	}
 	return ix, nil
 }

@@ -43,7 +43,7 @@ type Doc struct {
 	// Text storage. FM is the self-index (may be nil if disabled); Plain is
 	// the redundant plain-text store of Section 3.4 (may be nil).
 	FM    *fmindex.Index
-	Plain [][]byte
+	Plain *TextStore
 	nText int
 
 	// per-tag statistics
@@ -60,6 +60,79 @@ type Doc struct {
 	// min close / max open positions per tag, used to build follTags and
 	// useful for planning.
 	minClose, maxOpen []int32
+
+	// mappedBytes is the size of the backing buffer a ReadIndexMapped load
+	// aliases its payloads out of; zero for parsed or copy-loaded documents.
+	mappedBytes int
+}
+
+// TextStore is the redundant plain-text collection of Section 3.4. It has
+// two representations behind one accessor: the builder keeps the parsed
+// texts as individual slices, while a loaded store is a single blob plus
+// cumulative end offsets, sliced on demand — on a mapped index both alias
+// the file, so restoring millions of texts costs nothing at open time and
+// no per-text headers are ever materialized.
+type TextStore struct {
+	parts [][]byte // building path: one slice per text
+	blob  []byte   // loaded path: concatenated texts…
+	offs  []uint64 // …and their cumulative end offsets (len = text count)
+}
+
+// NewTextStoreParts wraps per-text slices (the parse/build path).
+func NewTextStoreParts(parts [][]byte) *TextStore { return &TextStore{parts: parts} }
+
+// NewTextStoreBlob wraps a concatenated blob with cumulative end offsets,
+// which must be monotone and end at len(blob) — the loaders validate this
+// before construction, and Get relies on it.
+func NewTextStoreBlob(blob []byte, offs []uint64) *TextStore {
+	return &TextStore{blob: blob, offs: offs}
+}
+
+// Len returns the number of texts.
+func (ts *TextStore) Len() int {
+	if ts.parts != nil {
+		return len(ts.parts)
+	}
+	return len(ts.offs)
+}
+
+// Get returns text id without copying.
+func (ts *TextStore) Get(id int) []byte {
+	if ts.parts != nil {
+		return ts.parts[id]
+	}
+	lo := uint64(0)
+	if id > 0 {
+		lo = ts.offs[id-1]
+	}
+	hi := ts.offs[id]
+	return ts.blob[lo:hi:hi]
+}
+
+// All materializes the collection as one slice per text (sharing the
+// underlying bytes). Intended for bulk consumers like the word index;
+// query paths should use Get.
+func (ts *TextStore) All() [][]byte {
+	if ts.parts != nil {
+		return ts.parts
+	}
+	out := make([][]byte, len(ts.offs))
+	for i := range out {
+		out[i] = ts.Get(i)
+	}
+	return out
+}
+
+// SizeInBytes reports the memory footprint (content plus headers).
+func (ts *TextStore) SizeInBytes() int {
+	if ts.parts != nil {
+		n := 0
+		for _, t := range ts.parts {
+			n += len(t) + 24
+		}
+		return n
+	}
+	return len(ts.blob) + 8*len(ts.offs)
 }
 
 type tagSet []uint64
@@ -197,7 +270,7 @@ func (b *builder) finish() (*Doc, error) {
 	d.nText = len(b.texts)
 
 	if !b.opts.SkipPlain {
-		d.Plain = b.texts
+		d.Plain = NewTextStoreParts(b.texts)
 	}
 	if !b.opts.SkipFM {
 		fm, err := fmindex.New(b.texts, fmindex.Options{
@@ -492,7 +565,7 @@ func (d *Doc) XMLIdText(id int) int { return d.Par.Preorder(d.leafB.Select1(id))
 // falling back to FM-index extraction (Section 3.4).
 func (d *Doc) Text(id int) []byte {
 	if d.Plain != nil {
-		return d.Plain[id]
+		return d.Plain.Get(id)
 	}
 	if d.FM != nil {
 		return d.FM.Extract(id)
@@ -610,6 +683,11 @@ func (d *Doc) serialize(x int, w io.Writer) error {
 	return err
 }
 
+// MappedBytes returns the size of the mapped buffer this document aliases
+// its payloads out of, or zero when it was parsed or copy-loaded into
+// private memory.
+func (d *Doc) MappedBytes() int { return d.mappedBytes }
+
 // SizeInBytes reports the in-memory footprint, split by component.
 func (d *Doc) SizeInBytes() (tree, text, plain int) {
 	tree = d.Par.SizeInBytes() + d.Tag.SizeInBytes() + d.leafB.SizeInBytes()
@@ -619,8 +697,8 @@ func (d *Doc) SizeInBytes() (tree, text, plain int) {
 	if d.FM != nil {
 		text = d.FM.SizeInBytes()
 	}
-	for _, t := range d.Plain {
-		plain += len(t) + 24
+	if d.Plain != nil {
+		plain = d.Plain.SizeInBytes()
 	}
 	return
 }

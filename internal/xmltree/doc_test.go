@@ -207,7 +207,7 @@ func TestSerializeRoundTrip(t *testing.T) {
 func TestFMExtractionMatchesPlain(t *testing.T) {
 	d := parse(t, paperDoc, Options{})
 	for id := 0; id < d.NumTexts(); id++ {
-		if got, want := string(d.FM.Extract(id)), string(d.Plain[id]); got != want {
+		if got, want := string(d.FM.Extract(id)), string(d.Plain.Get(id)); got != want {
 			t.Fatalf("text %d: fm=%q plain=%q", id, got, want)
 		}
 	}

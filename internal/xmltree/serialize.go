@@ -3,7 +3,8 @@ package xmltree
 import (
 	"fmt"
 	"io"
-	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/bp"
@@ -33,10 +34,19 @@ import (
 
 // Magic and version of the index container. The magic is shared with the
 // CLI's format sniffing; the version is bumped on any layout change.
+// Version 3 is the aligned layout: section payloads and their word/int32
+// arrays sit on 8-byte file offsets, which is what lets ReadIndexMapped
+// alias them straight out of a mapped file. Version 2 files (unaligned)
+// keep loading through the copying ReadIndex path.
 const (
-	IndexMagic   = "SXSIGO"
-	indexVersion = 2
+	IndexMagic         = "SXSIGO"
+	indexVersion       = 3
+	alignedFromVersion = 3
 )
+
+// ErrNotMappable reports an index container that predates the aligned
+// layout: it loads fine through ReadIndex, but cannot be aliased in place.
+var ErrNotMappable = persist.ErrNotMappable
 
 // Section identifiers of the container.
 const (
@@ -57,7 +67,19 @@ var ErrBadIndexFile = persist.ErrCorrupt
 
 // WriteTo serializes the index. It returns the number of bytes written.
 func (d *Doc) WriteTo(w io.Writer) (int64, error) {
-	fw := persist.NewFileWriter(w, IndexMagic, indexVersion)
+	return d.WriteToVersion(w, indexVersion)
+}
+
+// WriteToVersion serializes the index as the given container version (2
+// is the last unaligned layout); WriteTo always writes the newest. The
+// byte stream for a given version is identical to what that version's
+// writer produced, which is what the compatibility tests pin and what lets
+// current builds produce indexes for older readers.
+func (d *Doc) WriteToVersion(w io.Writer, version uint16) (int64, error) {
+	if version < 2 || version > indexVersion {
+		return 0, fmt.Errorf("xmltree: unsupported container version %d", version)
+	}
+	fw := persist.NewFileWriter(w, IndexMagic, version, version >= alignedFromVersion)
 	fw.Section(secNames, func(pw *persist.Writer) {
 		pw.Int(len(d.names))
 		for _, s := range d.names {
@@ -99,102 +121,227 @@ func (d *Doc) WriteTo(w io.Writer) (int64, error) {
 // sequence as in Parse; with opts.SkipFM the FM section is skipped
 // entirely without being decoded.
 func ReadIndex(rd io.Reader, opts Options) (*Doc, error) {
-	fr, err := persist.NewFileReader(rd, IndexMagic, indexVersion)
+	fr, err := persist.NewFileReader(rd, IndexMagic, indexVersion, alignedFromVersion)
 	if err != nil {
 		return nil, err
 	}
-	d := &Doc{nameID: map[string]int32{}}
-	var texts [][]byte
-	haveTexts, haveTables := false, false
+	return readSections(func() (uint32, persist.Source, error) { return fr.Next() }, opts)
+}
+
+// ReadIndexMapped deserializes an index out of data — typically an mmap'd
+// file — aliasing the word, int32 and text payloads in place instead of
+// copying them. Only the derived directories (rank/select structures, the
+// BP range-min-max tree, planner tables) are built in private memory, so
+// opening is O(derived structures) and the payload pages stay shared with
+// the OS page cache.
+//
+// data must be 8-byte aligned at its base (mmap regions and
+// persist.AlignedBuffer both are) and must stay alive and unchanged for
+// the whole lifetime of the returned Doc; the Doc must be treated as
+// read-only even more strictly than usual, since its slices may point into
+// read-only pages. Containers older than the aligned layout return
+// ErrNotMappable — load those through ReadIndex.
+func ReadIndexMapped(data []byte, opts Options) (*Doc, error) {
+	mf, err := persist.OpenMappedContainer(data, IndexMagic, indexVersion, alignedFromVersion)
+	if err != nil {
+		return nil, err
+	}
+	// Walking the container is just slicing, so collect the sections first
+	// and decode them concurrently: every known section writes disjoint
+	// parts of the document, and on a mapped load the per-section work is
+	// pure derived-directory construction, which is what dominates the open
+	// latency. Duplicate sections are rejected up front — the writer never
+	// produces them, and rejecting is what makes the disjointness hold.
+	type sect struct {
+		id uint32
+		mr *persist.MReader
+	}
+	var sects []sect
+	var seen [secTagTables + 1]bool
 	for {
-		id, pr, err := fr.Next()
+		id, mr, err := mf.Next()
 		if err != nil {
 			return nil, err
 		}
 		if id == 0 {
 			break
 		}
-		switch id {
-		case secNames:
-			n := pr.Int()
-			if err := pr.Check(n >= 4 && n <= 1<<26, "implausible name count"); err != nil {
-				return nil, err
-			}
-			d.names = make([]string, 0, min(n, 1<<16))
-			for i := 0; i < n; i++ {
-				s := pr.String()
-				if pr.Err() != nil {
-					return nil, pr.Err()
+		if id > secTagTables {
+			continue // unknown section from a future minor revision: skip
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: duplicate section %d", ErrBadIndexFile, id)
+		}
+		seen[id] = true
+		sects = append(sects, sect{id, mr})
+	}
+	sd := &sectionDecoder{d: &Doc{nameID: map[string]int32{}}, opts: opts}
+	errs := make([]error, len(sects))
+	var wg sync.WaitGroup
+	for i, s := range sects {
+		wg.Add(1)
+		go func(i int, s sect) {
+			defer wg.Done()
+			defer func() {
+				// The no-panic contract of the loaders is tested, but a slipped
+				// panic must surface as a load error, not kill the process from
+				// a bare goroutine.
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("%w: section %d: %v", ErrBadIndexFile, s.id, r)
 				}
-				d.names = append(d.names, s)
-				d.nameID[s] = int32(i)
-			}
-			if err := pr.Check(len(d.nameID) == n, "duplicate label name"); err != nil {
-				return nil, err
-			}
-		case secTree:
-			if d.Par = bp.Read(pr); d.Par == nil {
-				return nil, pr.Err()
-			}
-		case secTags:
-			if d.Tag = tags.Read(pr); d.Tag == nil {
-				return nil, pr.Err()
-			}
-		case secLeaves:
-			d.nText = pr.Int()
-			if d.leafB = bitvec.ReadVector(pr); d.leafB == nil {
-				return nil, pr.Err()
-			}
-		case secTexts:
-			n := pr.Int()
-			offs := pr.Words()
-			total := pr.Int()
-			if pr.Err() != nil {
-				return nil, pr.Err()
-			}
-			if err := pr.Check(len(offs) == n, "text offset count mismatch"); err != nil {
-				return nil, err
-			}
-			prev := uint64(0)
-			for _, o := range offs {
-				if err := pr.Check(o >= prev, "text offsets not monotone"); err != nil {
-					return nil, err
-				}
-				prev = o
-			}
-			if err := pr.Check(prev == uint64(total), "text blob length mismatch"); err != nil {
-				return nil, err
-			}
-			blob := pr.Raw(total)
-			if pr.Err() != nil {
-				return nil, pr.Err()
-			}
-			texts = make([][]byte, n)
-			start := uint64(0)
-			for i, o := range offs {
-				texts[i] = blob[start:o:o]
-				start = o
-			}
-			haveTexts = true
-		case secFM:
-			if opts.SkipFM {
-				continue // skipped by section length, never decoded
-			}
-			fm := fmindex.Read(pr, opts.Builder)
-			if fm == nil {
-				return nil, pr.Err()
-			}
-			d.FM = fm
-		case secTagTables:
-			if err := d.readTagTables(pr); err != nil {
-				return nil, err
-			}
-			haveTables = true
-		default:
-			// Unknown section from a future minor revision: skip.
+			}()
+			errs[i] = sd.decode(s.id, s.mr)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	return d.assemble(texts, haveTexts, haveTables, opts)
+	d, err := sd.d.assemble(sd.texts, sd.haveTexts, sd.haveTables, opts)
+	if err != nil {
+		return nil, err
+	}
+	d.mappedBytes = len(data)
+	return d, nil
+}
+
+// readSections decodes the container sections delivered by next,
+// sequentially, and assembles the document: the streaming body of
+// ReadIndex. The mapped path runs the same sectionDecoder concurrently.
+func readSections(next func() (uint32, persist.Source, error), opts Options) (*Doc, error) {
+	sd := &sectionDecoder{d: &Doc{nameID: map[string]int32{}}, opts: opts}
+	for {
+		id, pr, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if id == 0 {
+			break
+		}
+		if err := sd.decode(id, pr); err != nil {
+			return nil, err
+		}
+	}
+	return sd.d.assemble(sd.texts, sd.haveTexts, sd.haveTables, opts)
+}
+
+// sectionDecoder accumulates the decoded sections. Each section id writes
+// its own fields only, which is what lets the mapped path decode sections
+// in parallel without locks.
+type sectionDecoder struct {
+	d          *Doc
+	opts       Options
+	texts      *TextStore
+	haveTexts  bool
+	haveTables bool
+}
+
+func (sd *sectionDecoder) decode(id uint32, pr persist.Source) error {
+	d := sd.d
+	switch id {
+	case secNames:
+		n := pr.Int()
+		if err := pr.Check(n >= 4 && n <= 1<<26, "implausible name count"); err != nil {
+			return err
+		}
+		d.names = make([]string, 0, min(n, 1<<16))
+		for i := 0; i < n; i++ {
+			s := pr.String()
+			if pr.Err() != nil {
+				return pr.Err()
+			}
+			d.names = append(d.names, s)
+			d.nameID[s] = int32(i)
+		}
+		if err := pr.Check(len(d.nameID) == n, "duplicate label name"); err != nil {
+			return err
+		}
+	case secTree:
+		if d.Par = bp.Read(pr); d.Par == nil {
+			return pr.Err()
+		}
+	case secTags:
+		if d.Tag = tags.Read(pr); d.Tag == nil {
+			return pr.Err()
+		}
+	case secLeaves:
+		d.nText = pr.Int()
+		if d.leafB = bitvec.ReadVector(pr); d.leafB == nil {
+			return pr.Err()
+		}
+	case secTexts:
+		return sd.decodeTexts(pr)
+	case secFM:
+		if sd.opts.SkipFM {
+			return nil // skipped by section length, never decoded
+		}
+		fm := fmindex.Read(pr, sd.opts.Builder)
+		if fm == nil {
+			return pr.Err()
+		}
+		d.FM = fm
+	case secTagTables:
+		if err := d.readTagTables(pr); err != nil {
+			return err
+		}
+		sd.haveTables = true
+	default:
+		// Unknown section from a future minor revision: skip.
+	}
+	return nil
+}
+
+// decodeTexts restores the text collection: one blob plus cumulative end
+// offsets, both aliasing the buffer on a mapped source, wrapped in a lazy
+// TextStore — no per-text headers are materialized. The only per-text
+// cost left is the monotonicity validation (Get's slicing depends on it),
+// chunked across the CPUs since millions of texts are normal.
+func (sd *sectionDecoder) decodeTexts(pr persist.Source) error {
+	n := pr.Int()
+	offs := pr.Words()
+	total := pr.Int()
+	if pr.Err() != nil {
+		return pr.Err()
+	}
+	if err := pr.Check(len(offs) == n, "text offset count mismatch"); err != nil {
+		return err
+	}
+	last := uint64(0)
+	if n > 0 {
+		last = offs[n-1]
+	}
+	if err := pr.Check(last == uint64(total), "text blob length mismatch"); err != nil {
+		return err
+	}
+	blob := pr.Raw(total)
+	if pr.Err() != nil {
+		return pr.Err()
+	}
+	var bad atomic.Bool
+	persist.Chunked(pr, n, func(lo, hi int) {
+		prev := uint64(0)
+		if lo > 0 {
+			prev = offs[lo-1]
+		}
+		for i := lo; i < hi; i++ {
+			// A chunk's seed offset is validated by its left neighbor; within
+			// the chunk the comparison chain establishes prev <= o <= total.
+			o := offs[i]
+			if o < prev {
+				bad.Store(true)
+				return
+			}
+			prev = o
+		}
+	})
+	if err := pr.Check(!bad.Load(), "text offsets not monotone"); err != nil {
+		return err
+	}
+	sd.texts = NewTextStoreBlob(blob, offs)
+	sd.haveTexts = true
+	return nil
 }
 
 // storeTagTables serializes the derived per-tag planner tables, so loading
@@ -221,7 +368,7 @@ func (d *Doc) storeTagTables(pw *persist.Writer) {
 
 // readTagTables restores the tables written by storeTagTables. Dimension
 // consistency against the other sections is checked in assemble.
-func (d *Doc) readTagTables(pr *persist.Reader) error {
+func (d *Doc) readTagTables(pr persist.Source) error {
 	nTags := pr.Int()
 	d.tagCount = pr.Int32s()
 	pure := pr.Bytes()
@@ -259,7 +406,7 @@ func (d *Doc) readTagTables(pr *persist.Reader) error {
 
 // assemble cross-validates the decoded sections, fills the redundant
 // parts, and runs the derived-table construction.
-func (d *Doc) assemble(texts [][]byte, haveTexts, haveTables bool, opts Options) (*Doc, error) {
+func (d *Doc) assemble(texts *TextStore, haveTexts, haveTables bool, opts Options) (*Doc, error) {
 	if d.names == nil || d.Par == nil || d.Tag == nil || d.leafB == nil || !haveTexts {
 		return nil, fmt.Errorf("%w: missing a required section", ErrBadIndexFile)
 	}
@@ -268,19 +415,18 @@ func (d *Doc) assemble(texts [][]byte, haveTexts, haveTables bool, opts Options)
 		d.Tag.NumIDs() == 2*len(d.names) &&
 		d.leafB.Len() == n &&
 		d.leafB.Ones() == d.nText &&
-		len(texts) == d.nText
+		texts.Len() == d.nText
 	if !ok {
 		return nil, fmt.Errorf("%w: sections are inconsistent", ErrBadIndexFile)
 	}
-	// Every leaf position must hold an opening parenthesis. Iterate the set
-	// bits directly; per-id Select1 would dominate the whole load.
+	// Every leaf position must hold an opening parenthesis: word-parallel,
+	// every leaf bit must also be set in the parenthesis vector. (Both
+	// vectors have length n, so the word arrays line up; per-position
+	// IsOpen — let alone per-id Select1 — would dominate the whole load.)
+	parWords := d.Par.BitWords()
 	for wi, w := range d.leafB.Words() {
-		for w != 0 {
-			p := wi*64 + bits.TrailingZeros64(w)
-			w &= w - 1
-			if !d.Par.IsOpen(p) {
-				return nil, fmt.Errorf("%w: text leaf at closing parenthesis", ErrBadIndexFile)
-			}
+		if w&^parWords[wi] != 0 {
+			return nil, fmt.Errorf("%w: text leaf at closing parenthesis", ErrBadIndexFile)
 		}
 	}
 	if !opts.SkipPlain {
@@ -293,7 +439,7 @@ func (d *Doc) assemble(texts [][]byte, haveTexts, haveTables bool, opts Options)
 		}
 	case !opts.SkipFM:
 		// The file carries no FM-index but the caller wants one: rebuild it.
-		fm, err := fmindex.New(texts, fmindex.Options{SampleRate: opts.SampleRate, Builder: opts.Builder})
+		fm, err := fmindex.New(texts.All(), fmindex.Options{SampleRate: opts.SampleRate, Builder: opts.Builder})
 		if err != nil {
 			return nil, err
 		}

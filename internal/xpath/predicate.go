@@ -157,8 +157,8 @@ const defaultPlainCutoff = 20000
 // plainScan evaluates the predicate over the redundant plain-text store.
 func plainScan(d *xmltree.Doc, op TextOp, p []byte) []int32 {
 	var out []int32
-	for id, t := range d.Plain {
-		if evalTextOp(op, t, p) {
+	for id, n := 0, d.Plain.Len(); id < n; id++ {
+		if evalTextOp(op, d.Plain.Get(id), p) {
 			out = append(out, int32(id))
 		}
 	}

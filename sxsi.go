@@ -84,3 +84,17 @@ func LoadFile(path string, cfg Config) (*Index, error) {
 	}
 	return &Index{e}, nil
 }
+
+// OpenFile opens an index file memory-mapped: the succinct payloads alias
+// the mapped file, so opening costs only the derived directories and the
+// index pages stay shared with the OS page cache across processes and
+// restarts. Old (pre-alignment) index files and cfg.NoMmap fall back to
+// the copying load. Call Close on the returned index once it is no longer
+// used to release the mapping.
+func OpenFile(path string, cfg Config) (*Index, error) {
+	e, err := core.OpenFile(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{e}, nil
+}
