@@ -5,6 +5,7 @@ package sxsi
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"os"
@@ -576,4 +577,50 @@ func BenchmarkFig18_PSSM(b *testing.B) {
 			pssm.ScanTexts(corpora.bioIdx.Doc.Plain.All(), &m, thr)
 		}
 	})
+}
+
+// BenchmarkExistsEarly measures the lazy existence probe on the streaming
+// iterator: Exists pulls one result from the document-order scan and stops,
+// so its cost is the jump to the first verified candidate, independent of
+// the thousands of keywords in the full result set (compare with
+// BenchmarkCountStream on the same query).
+func BenchmarkExistsEarly(b *testing.B) {
+	setup(b)
+	q, err := corpora.xmarkIdx.Compile("//listitem//keyword")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := q.Exists(ctx)
+		if err != nil || !ok {
+			b.Fatalf("exists = %v, %v", ok, err)
+		}
+	}
+}
+
+// BenchmarkCountStream measures counting mode over the same query: the
+// cardinality is resolved from per-state counters (rank directories for
+// collector states, Section 5.5.3), never a materialized node slice — the
+// reported allocations must stay flat as the corpus grows.
+func BenchmarkCountStream(b *testing.B) {
+	setup(b)
+	q, err := corpora.xmarkIdx.Compile("//listitem//keyword")
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := q.Count()
+	if want == 0 {
+		b.Fatal("empty result set")
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := q.CountCtx(ctx)
+		if err != nil || n != want {
+			b.Fatalf("count = %d, %v", n, err)
+		}
+	}
 }

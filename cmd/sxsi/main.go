@@ -26,6 +26,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/service"
+	"repro/internal/xpath"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 	dir := fs.String("dir", "", "document directory (for 'serve')")
 	workers := fs.Int("workers", 0, "worker pool size for 'serve' (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 0, "compiled-query LRU capacity for 'serve'")
+	strategy := fs.String("strategy", "auto", "evaluation strategy: auto, top-down or bottom-up (for 'query' and 'count')")
+	timeout := fs.Duration("timeout", 0, "per-request evaluation deadline for 'serve' (0 = none)")
 	fs.StringVar(in, "in", "", "alias of -i")
 	fs.StringVar(out, "out", "", "alias of -o")
 	fs.Parse(os.Args[2:])
@@ -52,11 +55,16 @@ func main() {
 	}
 
 	cfg := core.Config{SampleRate: *sample, RunLength: *rl, NoMmap: *noMmap}
+	st, err := xpath.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err.Error())
+	}
+	cfg.Query.ForceStrategy = st
 	if cmd == "serve" {
 		if *dir == "" {
 			fatal("missing -dir document directory")
 		}
-		ccfg := collection.Config{Workers: *workers, CacheSize: *cacheSize, Index: cfg}
+		ccfg := collection.Config{Workers: *workers, CacheSize: *cacheSize, RequestTimeout: *timeout, Index: cfg}
 		check(service.Run(*addr, *dir, ccfg, os.Stderr))
 		return
 	}
@@ -137,7 +145,9 @@ commands:
 
 flags: -sample N (FM sampling rate), -rl (run-length text index),
        -no-mmap (copy saved indexes instead of memory-mapping them),
-       -workers N / -cache N (serve worker pool and query-cache size)`)
+       -strategy auto|top-down|bottom-up (force the evaluation strategy),
+       -workers N / -cache N (serve worker pool and query-cache size),
+       -timeout D (serve per-request evaluation deadline, e.g. 30s)`)
 	os.Exit(2)
 }
 

@@ -1,6 +1,7 @@
 package automata
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/xmltree"
@@ -121,7 +122,17 @@ type Evaluator struct {
 	// freelist of vals slices: child results are copied by value into the
 	// parent's result, so their slices can be recycled immediately.
 	valsPool [][]Res
+
+	// Cancellation state for RunContext: the recursive run polls ctxDone
+	// every few visited nodes and unwinds with a runCancelled panic, since
+	// threading an error through the deep recursion would cost on every
+	// frame of the hot path.
+	ctx     context.Context
+	ctxDone <-chan struct{}
 }
+
+// runCancelled is the panic sentinel RunContext recovers.
+type runCancelled struct{ err error }
 
 type instrKey struct {
 	q   uint64
@@ -156,6 +167,31 @@ func NewEvaluator(a *Automaton, doc *xmltree.Doc, mode Mode, opts Options) *Eval
 		instrCache: map[instrKey]*instr{},
 		jumpCache:  map[uint64]*jumpInfo{},
 	}
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the run stops
+// at the next visit poll (every 64 visited nodes) and the context's error
+// is returned. An evaluator whose run was cancelled must not be reused —
+// its Stats are partial and its pools may hold live slices.
+func (ev *Evaluator) RunContext(ctx context.Context) (n int64, nodes []int, err error) {
+	if ctx != nil && ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		ev.ctx, ev.ctxDone = ctx, ctx.Done()
+		defer func() {
+			ev.ctx, ev.ctxDone = nil, nil
+			if r := recover(); r != nil {
+				rc, ok := r.(runCancelled)
+				if !ok {
+					panic(r)
+				}
+				n, nodes, err = 0, nil, rc.err
+			}
+		}()
+	}
+	n, nodes = ev.Run()
+	return n, nodes, nil
 }
 
 // Run evaluates the automaton from the document root and returns the marks
@@ -238,6 +274,13 @@ func (ev *Evaluator) run(q uint64, pos, end int) runRes {
 		}
 	}
 	ev.Stats.Visited++
+	if ev.ctxDone != nil && ev.Stats.Visited&63 == 0 {
+		select {
+		case <-ev.ctxDone:
+			panic(runCancelled{ev.ctx.Err()})
+		default:
+		}
+	}
 	inst := ev.instruction(q, doc.TagOf(pos))
 	cl := doc.Close(pos)
 

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/xpath"
@@ -49,6 +50,12 @@ type Config struct {
 	// CacheSize is the compiled-query LRU capacity (default
 	// DefaultCacheSize; negative disables caching).
 	CacheSize int
+	// RequestTimeout bounds the evaluation of every single request (one
+	// Do/DoContext call, one streamed Serialize): the evaluators poll their
+	// context and a request past its deadline fails with
+	// context.DeadlineExceeded instead of occupying a worker forever. Zero
+	// means no per-request deadline.
+	RequestTimeout time.Duration
 	// Index configures document building and loading.
 	Index core.Config
 }
@@ -302,6 +309,9 @@ const (
 	ModeNodes
 	// ModeSerialize serializes the result subtrees as XML.
 	ModeSerialize
+	// ModeExists checks for at least one result, lazily: evaluation stops
+	// at the first hit instead of producing the whole result set.
+	ModeExists
 )
 
 func (m Mode) String() string {
@@ -312,6 +322,8 @@ func (m Mode) String() string {
 		return "nodes"
 	case ModeSerialize:
 		return "serialize"
+	case ModeExists:
+		return "exists"
 	}
 	return fmt.Sprintf("mode(%d)", m)
 }
@@ -325,6 +337,8 @@ func ParseMode(s string) (Mode, error) {
 		return ModeNodes, nil
 	case "serialize", "query":
 		return ModeSerialize, nil
+	case "exists":
+		return ModeExists, nil
 	}
 	return 0, fmt.Errorf("collection: unknown mode %q", s)
 }
@@ -337,8 +351,8 @@ type Request struct {
 }
 
 // Result carries the outcome of one Request. Count is filled in every mode
-// (the number of result nodes); Nodes only in ModeNodes and Output only in
-// ModeSerialize.
+// (the number of result nodes; 0 or 1 in ModeExists); Nodes only in
+// ModeNodes, Output only in ModeSerialize and Exists only in ModeExists.
 type Result struct {
 	Doc    string
 	Query  string
@@ -346,7 +360,17 @@ type Result struct {
 	Count  int64
 	Nodes  []int
 	Output []byte
+	Exists bool
 	Err    error
+}
+
+// reqCtx applies the per-request deadline; the returned cancel func is
+// always non-nil.
+func (c *Collection) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	}
+	return ctx, func() {}
 }
 
 // Do evaluates a single request. Every request counts toward
@@ -355,7 +379,15 @@ type Result struct {
 // recovered into the Result's Err: batch workers run outside net/http's
 // per-request recover, and one poisoned query must not take down the
 // daemon and every loaded document with it.
-func (c *Collection) Do(req Request) (res Result) {
+func (c *Collection) Do(req Request) Result {
+	return c.DoContext(context.Background(), req)
+}
+
+// DoContext is Do bounded by a context (further bounded by the collection's
+// RequestTimeout): both evaluation strategies poll the context, so a
+// cancelled or expired request stops mid-evaluation and reports the
+// context's error.
+func (c *Collection) DoContext(ctx context.Context, req Request) (res Result) {
 	res = Result{Doc: req.Doc, Query: req.Query, Mode: req.Mode}
 	c.queries.Add(1)
 	defer func() {
@@ -370,18 +402,25 @@ func (c *Collection) Do(req Request) (res Result) {
 		c.errCount.Add(1)
 		return res
 	}
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
 	switch req.Mode {
 	case ModeCount:
-		res.Count = q.Count()
+		res.Count, res.Err = q.CountCtx(ctx)
 	case ModeNodes:
-		res.Nodes = q.Nodes()
+		res.Nodes, res.Err = q.NodesCtx(ctx)
 		res.Count = int64(len(res.Nodes))
 	case ModeSerialize:
 		var buf bytes.Buffer
-		n, err := q.Serialize(&buf)
+		n, err := q.SerializeCtx(ctx, &buf)
 		res.Count, res.Output, res.Err = int64(n), buf.Bytes(), err
 		if res.Err != nil {
 			res.Output = nil // never hand out a truncated serialization
+		}
+	case ModeExists:
+		res.Exists, res.Err = q.Exists(ctx)
+		if res.Exists {
+			res.Count = 1
 		}
 	default:
 		res.Err = fmt.Errorf("collection: unknown mode %d", req.Mode)
@@ -398,7 +437,15 @@ func (c *Collection) Do(req Request) (res Result) {
 // the GET /query path, which must handle result sets of any size without
 // materializing them. Nothing is written to w before compilation succeeds,
 // so a returned error with zero results means no bytes were produced.
-func (c *Collection) Serialize(doc, query string, w io.Writer) (n int64, err error) {
+func (c *Collection) Serialize(doc, query string, w io.Writer) (int64, error) {
+	return c.SerializeContext(context.Background(), doc, query, w)
+}
+
+// SerializeContext is Serialize bounded by a context (and the collection's
+// RequestTimeout). Cancellation mid-stream returns the context's error
+// after a prefix of the results has been written; the HTTP layer turns
+// that into an aborted connection rather than a silently truncated body.
+func (c *Collection) SerializeContext(ctx context.Context, doc, query string, w io.Writer) (n int64, err error) {
 	c.queries.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
@@ -411,7 +458,9 @@ func (c *Collection) Serialize(doc, query string, w io.Writer) (n int64, err err
 		c.errCount.Add(1)
 		return 0, err
 	}
-	k, err := q.Serialize(w)
+	ctx, cancel := c.reqCtx(ctx)
+	defer cancel()
+	k, err := q.SerializeCtx(ctx, w)
 	if err != nil {
 		c.errCount.Add(1)
 	}
@@ -420,8 +469,9 @@ func (c *Collection) Serialize(doc, query string, w io.Writer) (n int64, err err
 
 // Query evaluates a batch of requests on a bounded worker pool of
 // Config.Workers goroutines and returns the results in request order. A
-// canceled context stops the remaining work; unstarted requests report
-// ctx.Err().
+// canceled context stops the remaining work: unstarted requests report
+// ctx.Err(), and in-flight evaluations observe the same context through
+// DoContext and stop mid-run.
 func (c *Collection) Query(ctx context.Context, reqs []Request) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {
@@ -439,7 +489,7 @@ func (c *Collection) Query(ctx context.Context, reqs []Request) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = c.Do(reqs[i])
+				out[i] = c.DoContext(ctx, reqs[i])
 				done[i] = true
 			}
 		}()

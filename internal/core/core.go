@@ -8,6 +8,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -259,31 +260,70 @@ func (e *Engine) Compile(query string) (*xpath.Query, error) {
 
 // Count runs the query in counting mode.
 func (e *Engine) Count(query string) (int64, error) {
+	return e.CountContext(context.Background(), query)
+}
+
+// CountContext is Count with cancellation: both evaluation strategies poll
+// the context and return its error once it is done.
+func (e *Engine) CountContext(ctx context.Context, query string) (int64, error) {
 	q, err := e.Compile(query)
 	if err != nil {
 		return 0, err
 	}
-	return q.Count(), nil
+	return q.CountCtx(ctx)
 }
 
 // Nodes materializes the result nodes (positions in the parentheses
 // sequence; use Doc methods or Serialize for content).
 func (e *Engine) Nodes(query string) ([]int, error) {
+	return e.NodesContext(context.Background(), query)
+}
+
+// NodesContext is Nodes with cancellation.
+func (e *Engine) NodesContext(ctx context.Context, query string) ([]int, error) {
 	q, err := e.Compile(query)
 	if err != nil {
 		return nil, err
 	}
-	return q.Nodes(), nil
+	return q.NodesCtx(ctx)
+}
+
+// Exists reports whether the query selects at least one node, evaluating
+// lazily: the first verified result ends the run, so a selective query on a
+// large document costs far less than Count.
+func (e *Engine) Exists(ctx context.Context, query string) (bool, error) {
+	q, err := e.Compile(query)
+	if err != nil {
+		return false, err
+	}
+	return q.Exists(ctx)
+}
+
+// Iter compiles the query and returns a lazy document-order iterator over
+// its results. The iterator must be closed (or drained) before the engine
+// is: for mapped engines it reads from the mapping.
+func (e *Engine) Iter(ctx context.Context, query string) (xpath.ResultIter, error) {
+	q, err := e.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Iter(ctx), nil
 }
 
 // Serialize evaluates the query and writes the XML serialization of each
 // result node to w, returning the number of results.
 func (e *Engine) Serialize(query string, w io.Writer) (int, error) {
+	return e.SerializeContext(context.Background(), query, w)
+}
+
+// SerializeContext is Serialize with cancellation; results stream through
+// the lazy iterator, so a cancelled call has written a prefix of them.
+func (e *Engine) SerializeContext(ctx context.Context, query string, w io.Writer) (int, error) {
 	q, err := e.Compile(query)
 	if err != nil {
 		return 0, err
 	}
-	return q.Serialize(w)
+	return q.SerializeCtx(ctx, w)
 }
 
 // Stats describes the in-memory footprint of the index components

@@ -1,0 +1,81 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/xpath"
+)
+
+// StrategyRecord is one cost-model decision observed by the differential
+// harness: the query, the statistics the planner consulted and the strategy
+// it chose.
+type StrategyRecord struct {
+	Query string
+	Cost  xpath.CostEstimate
+}
+
+// StrategyTally collects the cost model's per-query decisions across a
+// differential run, so the harness can both report the strategy mix and
+// assert that a suite actually exercised every evaluation path (a suite
+// where the cost model never picks bottom-up is not testing bottom-up).
+// Safe for concurrent use.
+type StrategyTally struct {
+	mu      sync.Mutex
+	records []StrategyRecord
+	counts  map[xpath.Strategy]int
+}
+
+// Record notes one compiled query's decision.
+func (t *StrategyTally) Record(query string, c xpath.CostEstimate) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.counts == nil {
+		t.counts = map[xpath.Strategy]int{}
+	}
+	t.records = append(t.records, StrategyRecord{Query: query, Cost: c})
+	t.counts[c.Chosen]++
+}
+
+// Len returns the number of recorded decisions.
+func (t *StrategyTally) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.records)
+}
+
+// Count returns how many recorded queries chose the given strategy.
+func (t *StrategyTally) Count(s xpath.Strategy) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[s]
+}
+
+// Records returns a copy of the recorded decisions in recording order.
+func (t *StrategyTally) Records() []StrategyRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StrategyRecord, len(t.records))
+	copy(out, t.records)
+	return out
+}
+
+// String summarizes the tally as "strategy=count" pairs, sorted by name.
+func (t *StrategyTally) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]xpath.Strategy, 0, len(t.counts))
+	for k := range t.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	s := ""
+	for _, k := range keys {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, t.counts[k])
+	}
+	return s
+}

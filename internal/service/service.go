@@ -6,12 +6,18 @@
 //	GET  /healthz           liveness probe
 //	GET  /docs              registered documents with index statistics
 //	GET  /count?doc=D&q=Q   {"doc":D,"query":Q,"count":N}
+//	GET  /exists?doc=D&q=Q  {"doc":D,"query":Q,"exists":B} (lazy, first hit)
 //	GET  /query?doc=D&q=Q   serialized result subtrees (CLI byte-identical)
 //	POST /query             {"requests":[{doc,query,mode}]} batch evaluation
 //	GET  /stats?doc=D       index statistics; without doc, serving counters
+//
+// Every evaluation runs under the request's context (plus the collection's
+// RequestTimeout, if set): a client that disconnects or times out cancels
+// the evaluators mid-run instead of leaving them to finish into the void.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -36,6 +42,7 @@ func New(c *collection.Collection) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /docs", s.handleDocs)
 	s.mux.HandleFunc("GET /count", s.handleCount)
+	s.mux.HandleFunc("GET /exists", s.handleExists)
 	s.mux.HandleFunc("GET /query", s.handleQueryGet)
 	s.mux.HandleFunc("POST /query", s.handleQueryPost)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -61,8 +68,9 @@ type errorBody struct {
 
 // statusFor maps evaluation errors to HTTP statuses: unknown documents are
 // 404, malformed queries (parse or unsupported-fragment errors, wrapped in
-// *collection.QueryError) are 400, and anything else is a server-side
-// evaluation failure, 500.
+// *collection.QueryError) are 400, a request that outran its per-request
+// deadline is 504, and anything else is a server-side evaluation failure,
+// 500.
 func statusFor(err error) int {
 	if errors.Is(err, collection.ErrUnknownDoc) {
 		return http.StatusNotFound
@@ -70,6 +78,9 @@ func statusFor(err error) int {
 	var qerr *collection.QueryError
 	if errors.As(err, &qerr) {
 		return http.StatusBadRequest
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
 }
@@ -126,12 +137,35 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res := s.c.Do(collection.Request{Doc: doc, Query: q, Mode: collection.ModeCount})
+	res := s.c.DoContext(r.Context(), collection.Request{Doc: doc, Query: q, Mode: collection.ModeCount})
 	if res.Err != nil {
 		writeError(w, statusFor(res.Err), res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, countBody{Doc: doc, Query: q, Count: res.Count})
+}
+
+type existsBody struct {
+	Doc    string `json:"doc"`
+	Query  string `json:"query"`
+	Exists bool   `json:"exists"`
+}
+
+// handleExists answers "does this query select anything" lazily: evaluation
+// stops at the first verified result, so it is the cheap way to probe
+// selective queries on large documents.
+func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
+	doc, q, err := reqParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.c.DoContext(r.Context(), collection.Request{Doc: doc, Query: q, Mode: collection.ModeExists})
+	if res.Err != nil {
+		writeError(w, statusFor(res.Err), res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, existsBody{Doc: doc, Query: q, Exists: res.Exists})
 }
 
 // handleQueryGet streams the serialized result subtrees — exactly the bytes
@@ -149,7 +183,7 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	tw := &trackingWriter{w: w}
-	if _, err := s.c.Serialize(doc, q, tw); err != nil {
+	if _, err := s.c.SerializeContext(r.Context(), doc, q, tw); err != nil {
 		if !tw.wrote {
 			// Nothing sent yet: writeError replaces the headers set above.
 			writeError(w, statusFor(err), err)
@@ -180,10 +214,10 @@ type BatchRequest struct {
 	Requests []BatchItem `json:"requests"`
 }
 
-// BatchItem is one request of a batch; mode is "count" (default), "nodes"
-// or "serialize". Serialize results are buffered into the JSON response,
-// so the batch endpoint suits counts and small extractions; stream large
-// result sets through GET /query instead.
+// BatchItem is one request of a batch; mode is "count" (default), "nodes",
+// "serialize" or "exists". Serialize results are buffered into the JSON
+// response, so the batch endpoint suits counts and small extractions;
+// stream large result sets through GET /query instead.
 type BatchItem struct {
 	Doc   string `json:"doc"`
 	Query string `json:"query"`
@@ -198,6 +232,7 @@ type BatchResult struct {
 	Count  int64  `json:"count"`
 	Nodes  []int  `json:"nodes,omitempty"`
 	Output string `json:"output,omitempty"`
+	Exists bool   `json:"exists,omitempty"`
 	Error  string `json:"error,omitempty"`
 }
 
@@ -232,6 +267,7 @@ func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
 			Count:  res.Count,
 			Nodes:  res.Nodes,
 			Output: string(res.Output),
+			Exists: res.Exists,
 		}
 		if res.Err != nil {
 			out[i].Error = res.Err.Error()

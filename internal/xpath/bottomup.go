@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -48,15 +49,17 @@ type dstep struct {
 	leaf bool // the virtual hop onto the text/attribute-value leaf
 }
 
-// planBottomUp inspects the normalized query (or, for queries with backward
-// steps, its downward prefix — Compile splits the path and applies the
-// remaining axes navigationally on top of this plan's result set) and builds
-// a bottom-up plan if the path has the supported shape and the text
-// predicate can use the text index; it returns nil otherwise (the caller
-// then runs top-down). Backward axes inside the path or the predicate
-// target leave the plan ineligible: the climb of run() only walks child and
-// descendant hops.
-func planBottomUp(doc *xmltree.Doc, path *Path, opts Options) *buPlan {
+// buildBottomUpPlan inspects the normalized query (or, for queries with
+// backward steps, its downward prefix — Compile splits the path and applies
+// the remaining axes navigationally on top of this plan's result set) and
+// builds a bottom-up plan if the path has the supported shape and the text
+// predicate can use the text index; it returns nil otherwise. Backward axes
+// inside the path or the predicate target leave the plan ineligible: the
+// climb of run() only walks child and descendant hops.
+//
+// Eligibility is purely structural; whether the plan actually runs is the
+// cost model's decision (chooseStrategy in cost.go).
+func buildBottomUpPlan(doc *xmltree.Doc, path *Path, opts Options) *buPlan {
 	if doc.FM == nil || opts.DisableBottomUp || opts.ForceNaiveText {
 		return nil
 	}
@@ -102,24 +105,10 @@ func planBottomUp(doc *xmltree.Doc, path *Path, opts Options) *buPlan {
 	if tgt.test.Kind != TestText {
 		plan.downChain = append(plan.downChain, dstep{axis: AxisChild, leaf: true})
 	}
-	// Selectivity rule (Section 5.4.2): run bottom-up only when the text
-	// predicate is more selective than the last step's tag.
 	if te.Op == OpCustom {
 		if _, ok := opts.CustomMatchSets[te.Func]; !ok {
 			return nil
 		}
-	}
-	plan.estMatches = estimateMatches(doc, opts, te.Op, te.Func, te.Literal)
-	threshold := doc.NumNodes()
-	if last.Test.Kind == TestName {
-		if id := doc.TagID(last.Test.Name); id >= 0 {
-			threshold = doc.TagCount(id)
-		} else {
-			threshold = 0
-		}
-	}
-	if plan.estMatches > threshold {
-		return nil
 	}
 	return plan
 }
@@ -144,22 +133,27 @@ func estimateMatches(doc *xmltree.Doc, opts Options, op TextOp, fn, lit string) 
 // nodeStep keys the climbing/verification memo tables.
 type nodeStep struct{ node, j int }
 
-// run executes the plan and returns the sorted result node positions.
-func (p *buPlan) run() []int {
+// forEachCandidate climbs from each matched leaf in text order, calling
+// emit for every candidate result node it discovers. Candidates can repeat
+// (the same node is reachable from several leaves or chains); callers
+// deduplicate. emit returns false to stop the climb early, which is what
+// makes bottom-up existence checks output-sensitive. Cancellation is
+// checked between leaves (a single climb is bounded by the tree depth).
+func (p *buPlan) forEachCandidate(ctx context.Context, emit func(int) bool) error {
 	d := p.doc
 	set := p.matchedSet()
-	cands := map[int]struct{}{}
 	climbed := map[nodeStep]bool{}
+	stopped := false
 
 	var addCandidatesAbove func(node int, j int)
 	addCandidatesAbove = func(node, j int) {
 		key := nodeStep{node, j}
-		if climbed[key] {
+		if stopped || climbed[key] {
 			return
 		}
 		climbed[key] = true
 		if j < 0 {
-			cands[node] = struct{}{}
+			stopped = !emit(node)
 			return
 		}
 		step := p.downChain[j]
@@ -169,30 +163,40 @@ func (p *buPlan) run() []int {
 				return
 			}
 			if j == 0 {
-				cands[pa] = struct{}{}
+				stopped = !emit(pa)
 			} else if p.matchesChain(pa, j-1) {
 				addCandidatesAbove(pa, j-1)
 			}
 			return
 		}
 		// descendant hop: any proper ancestor can be the previous node
-		for a := d.Parent(node); a != xmltree.Nil; a = d.Parent(a) {
+		for a := d.Parent(node); a != xmltree.Nil && !stopped; a = d.Parent(a) {
 			if j == 0 {
-				cands[a] = struct{}{}
+				stopped = !emit(a)
 			} else if p.matchesChain(a, j-1) {
 				addCandidatesAbove(a, j-1)
 			}
 		}
 	}
 
-	for _, id := range set {
+	done := ctxDone(ctx)
+	for i, id := range set {
+		if done != nil && i&63 == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		leaf := d.TextIDToNode(int(id))
 		if d.TagOf(leaf) != p.leafTag {
 			continue
 		}
 		if len(p.downChain) == 0 {
 			// The result nodes are the text leaves themselves.
-			cands[leaf] = struct{}{}
+			if !emit(leaf) {
+				return nil
+			}
 			continue
 		}
 		// The leaf must match the last chain hop.
@@ -200,23 +204,93 @@ func (p *buPlan) run() []int {
 			continue
 		}
 		addCandidatesAbove(leaf, len(p.downChain)-1)
-	}
-
-	// Verify candidates: last-step test plus the upward main path
-	// (MatchAbove of Figure 6, memoized).
-	last := p.mainSteps[len(p.mainSteps)-1]
-	memo := map[nodeStep]bool{}
-	var out []int
-	for x := range cands {
-		if !matchesTest(d, x, last.Test) {
-			continue
+		if stopped {
+			return nil
 		}
-		if p.matchUp(x, len(p.mainSteps)-1, memo) {
+	}
+	return nil
+}
+
+// verifier checks candidates against the last step's test and the upward
+// main path (MatchAbove of Figure 6), memoizing both the per-candidate
+// verdict and the shared ancestor verification.
+type verifier struct {
+	p       *buPlan
+	verdict map[int]bool
+	memo    map[nodeStep]bool
+}
+
+func (p *buPlan) newVerifier() *verifier {
+	return &verifier{p: p, verdict: map[int]bool{}, memo: map[nodeStep]bool{}}
+}
+
+func (v *verifier) ok(x int) bool {
+	if res, seen := v.verdict[x]; seen {
+		return res
+	}
+	res := matchesTest(v.p.doc, x, v.p.mainSteps[len(v.p.mainSteps)-1].Test) &&
+		v.p.matchUp(x, len(v.p.mainSteps)-1, v.memo)
+	v.verdict[x] = res
+	return res
+}
+
+// run executes the plan and returns the sorted result node positions.
+func (p *buPlan) run() []int {
+	out, _ := p.runCtx(context.Background())
+	return out
+}
+
+// runCtx is run with cancellation: a nil error means out is complete.
+func (p *buPlan) runCtx(ctx context.Context) ([]int, error) {
+	v := p.newVerifier()
+	var out []int
+	err := p.forEachCandidate(ctx, func(x int) bool {
+		if _, seen := v.verdict[x]; !seen && v.ok(x) {
 			out = append(out, x)
 		}
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Ints(out)
-	return out
+	return out, nil
+}
+
+// countCtx counts the distinct verified results without materializing a
+// node slice (counting mode over the climb).
+func (p *buPlan) countCtx(ctx context.Context) (int64, error) {
+	v := p.newVerifier()
+	var n int64
+	err := p.forEachCandidate(ctx, func(x int) bool {
+		if _, seen := v.verdict[x]; !seen && v.ok(x) {
+			n++
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// existsCtx reports whether the plan produces any result, stopping the
+// climb at the first verified candidate: for a selective text predicate
+// this touches one leaf-to-root path instead of the whole match set.
+func (p *buPlan) existsCtx(ctx context.Context) (bool, error) {
+	v := p.newVerifier()
+	found := false
+	err := p.forEachCandidate(ctx, func(x int) bool {
+		if v.ok(x) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
 }
 
 func (p *buPlan) matchesChain(node, j int) bool {

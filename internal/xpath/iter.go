@@ -1,0 +1,235 @@
+package xpath
+
+// Streaming result iterators. The top-down marking automaton cannot stream:
+// its marks are provisional (a speculative down-state launch may be discarded
+// when an ancestor's formula later fails), so results only become definite
+// when the whole run finishes. The leaf-order bottom-up climb cannot stream
+// either — a later text match can climb to a candidate that PRECEDES an
+// already-produced one in document order. What does stream is the dual view:
+// scan the candidates of the LAST step in position order (the BP position of
+// a node is its document-order rank, and the per-tag rank directories jump
+// between occurrences of a named test in O(1)-ish time), and verify each
+// candidate's ancestor path upward against the earlier steps, memoizing the
+// per-(node, step) verdicts so shared ancestors are verified once. For the
+// downward fragment this yields lazy document-order iteration whose cost is
+// proportional to the candidates of the most selective bound we have — the
+// last step — not to the full result set.
+
+import (
+	"context"
+
+	"repro/internal/xmltree"
+)
+
+// ResultIter streams the positions of result nodes in document order.
+//
+// Next returns the next result and true, or false when the iteration is
+// exhausted, cancelled or closed; after Next returns false, Err
+// distinguishes completion (nil) from cancellation (the context's error).
+// Close releases the iterator; it is idempotent and must be called (or the
+// iterator drained) before the index the query is bound to is closed, since
+// live iterators read from the engine's (possibly memory-mapped) structures.
+type ResultIter interface {
+	Next() (int, bool)
+	Err() error
+	Close() error
+}
+
+// ctxDone returns the context's done channel, or nil when the context can
+// never be cancelled (context.Background and friends), letting hot loops
+// skip the select entirely.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// ctxErr is the upfront cancellation check: evaluation entry points fail
+// immediately on an already-done context instead of starting work whose
+// first poll may be hundreds of nodes in.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// materializedIter adapts an already-evaluated node set (or a failed
+// evaluation) to ResultIter for the strategies that cannot stream.
+type materializedIter struct {
+	nodes  []int
+	i      int
+	err    error
+	closed bool
+}
+
+func (it *materializedIter) Next() (int, bool) {
+	if it.closed || it.err != nil || it.i >= len(it.nodes) {
+		return 0, false
+	}
+	x := it.nodes[it.i]
+	it.i++
+	return x, true
+}
+
+func (it *materializedIter) Err() error { return it.err }
+
+func (it *materializedIter) Close() error {
+	it.closed = true
+	return nil
+}
+
+// scanIter lazily evaluates a pure downward path (child/descendant axes
+// only, no navigational post segment) in document order: candidates for the
+// last step come from a tag-row occurrence scan (named and text() tests) or
+// a preorder sweep (star and node() tests), and each candidate is verified
+// upward with upMatch. Predicates anywhere in the path are evaluated with
+// the naive navigational semantics (navEvalExpr), which the differential
+// suite pins against the DOM oracle.
+type scanIter struct {
+	ctx  context.Context
+	done <-chan struct{}
+	d    *xmltree.Doc
+	opts Options
+
+	steps []*Step
+
+	useJump   bool
+	jumpTag   int32
+	pos       int // next BP position to probe (jump mode)
+	k, n      int // next preorder rank and limit (sweep mode)
+	exhausted bool
+
+	memo    map[nodeStep]bool
+	checked int
+	err     error
+	closed  bool
+}
+
+func newScanIter(ctx context.Context, d *xmltree.Doc, opts Options, steps []*Step) *scanIter {
+	it := &scanIter{
+		ctx:   ctx,
+		done:  ctxDone(ctx),
+		d:     d,
+		opts:  opts,
+		steps: steps,
+		memo:  map[nodeStep]bool{},
+		err:   ctxErr(ctx),
+	}
+	last := steps[len(steps)-1]
+	if tag, ok := navJumpTag(d, last.Test); ok {
+		if tag < 0 {
+			it.exhausted = true // the label does not occur in the document
+		} else {
+			it.useJump = true
+			it.jumpTag = tag
+		}
+	} else {
+		it.n = d.NumNodes()
+	}
+	return it
+}
+
+// nextCandidate yields the next node matching the last step's test, in
+// position (= document) order.
+func (it *scanIter) nextCandidate() (int, bool) {
+	if it.exhausted {
+		return 0, false
+	}
+	if it.useJump {
+		q := it.d.Tag.NextOccurrence(2*it.jumpTag, it.pos)
+		if q < 0 {
+			it.exhausted = true
+			return 0, false
+		}
+		it.pos = q + 1
+		return q, true
+	}
+	last := it.steps[len(it.steps)-1]
+	for it.k < it.n {
+		x := it.d.NodeAtPreorder(it.k)
+		it.k++
+		if matchesTest(it.d, x, last.Test) {
+			return x, true
+		}
+	}
+	it.exhausted = true
+	return 0, false
+}
+
+// upMatch reports whether node x can play the role of step i: it satisfies
+// the step's test and filters, and some ancestor chain above it matches
+// steps[0..i-1], anchored at the synthetic root by step 0's axis. Verdicts
+// are memoized per (node, step), so ancestors shared between candidates are
+// verified once — the streaming analogue of the bottom-up verifier's
+// stop-at-LCA memoization.
+func (it *scanIter) upMatch(x, i int) bool {
+	key := nodeStep{x, i}
+	if v, ok := it.memo[key]; ok {
+		return v
+	}
+	res := it.upMatchEval(x, i)
+	it.memo[key] = res
+	return res
+}
+
+func (it *scanIter) upMatchEval(x, i int) bool {
+	d, st := it.d, it.steps[i]
+	if !matchesTest(d, x, st.Test) {
+		return false
+	}
+	for _, f := range st.Filters {
+		if !navEvalExpr(d, it.opts, x, f) {
+			return false
+		}
+	}
+	if i == 0 {
+		if st.Axis == AxisChild {
+			return d.Parent(x) == d.Root()
+		}
+		return x != d.Root()
+	}
+	if st.Axis == AxisChild {
+		pa := d.Parent(x)
+		return pa != xmltree.Nil && it.upMatch(pa, i-1)
+	}
+	for a := d.Parent(x); a != xmltree.Nil; a = d.Parent(a) {
+		if it.upMatch(a, i-1) {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *scanIter) Next() (int, bool) {
+	if it.closed || it.err != nil {
+		return 0, false
+	}
+	last := len(it.steps) - 1
+	for {
+		it.checked++
+		if it.done != nil && it.checked&255 == 0 {
+			select {
+			case <-it.done:
+				it.err = it.ctx.Err()
+				return 0, false
+			default:
+			}
+		}
+		x, ok := it.nextCandidate()
+		if !ok {
+			return 0, false
+		}
+		if it.upMatch(x, last) {
+			return x, true
+		}
+	}
+}
+
+func (it *scanIter) Err() error { return it.err }
+
+func (it *scanIter) Close() error {
+	it.closed = true
+	return nil
+}

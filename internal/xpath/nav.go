@@ -27,6 +27,7 @@ package xpath
 // axes navigate the model tree and node tests do the filtering.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -273,7 +274,15 @@ func navExists(d *xmltree.Doc, opts Options, x int, steps []*Step) bool {
 // over a set is preceding:: of its largest member (y precedes some x in the
 // set iff Close(y) < max(set)), and the union of following:: is
 // following:: of the member whose closing parenthesis is smallest.
-func navApplyStep(d *xmltree.Doc, opts Options, cur []int, st *Step) []int {
+// Cancellation is polled between enumerated target nodes, which covers the
+// expensive part of a step: the per-target filter evaluations.
+func navApplyStep(ctx context.Context, d *xmltree.Doc, opts Options, cur []int, st *Step) ([]int, error) {
+	// Entry check: cancellation that arrived while the previous pipeline
+	// stage was finishing is honored here even when this step emits fewer
+	// nodes than the polling interval.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if len(cur) > 1 {
 		switch st.Axis {
 		case AxisPreceding:
@@ -288,10 +297,22 @@ func navApplyStep(d *xmltree.Doc, opts Options, cur []int, st *Step) []int {
 			cur = []int{best}
 		}
 	}
+	done := ctxDone(ctx)
+	cancelled := false
+	seen := 0
 	decided := map[int]bool{}
 	var out []int
 	for _, x := range cur {
 		navCollect(d, x, st, func(m int) bool {
+			seen++
+			if done != nil && seen&255 == 0 {
+				select {
+				case <-done:
+					cancelled = true
+					return false
+				default:
+				}
+			}
 			if _, ok := decided[m]; ok {
 				return true
 			}
@@ -308,9 +329,12 @@ func navApplyStep(d *xmltree.Doc, opts Options, cur []int, st *Step) []int {
 			}
 			return true
 		})
+		if cancelled {
+			return nil, ctx.Err()
+		}
 	}
 	sort.Ints(out)
-	return out
+	return out, nil
 }
 
 // navValidateStep rejects at compile time what the automaton path would

@@ -1,6 +1,7 @@
 package xpath
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -12,7 +13,14 @@ import (
 type Options struct {
 	// Eval toggles the automata optimizations (the Figure 12 ablation axes).
 	Eval automata.Options
-	// DisableBottomUp forces TopDownRun even for eligible queries.
+	// ForceStrategy overrides the cost model's top-down/bottom-up decision
+	// (see cost.go). StrategyAuto, the zero value, lets the model decide;
+	// StrategyBottomUp only takes effect on queries whose shape supports the
+	// bottom-up plan.
+	ForceStrategy Strategy
+	// DisableBottomUp forces TopDownRun even for eligible queries. It
+	// predates ForceStrategy and additionally suppresses the FM statistics
+	// lookup; StrategyTopDown is the preferred spelling.
 	DisableBottomUp bool
 	// ForceNaiveText disables the FM-index for text predicates, using the
 	// naive string-value semantics everywhere.
@@ -39,6 +47,7 @@ type Query struct {
 	auto *automata.Automaton
 	plan *buPlan
 	opts Options
+	cost CostEstimate
 
 	// post holds the trailing steps evaluated navigationally: everything
 	// from the first backward (or following) step of the main path onward.
@@ -174,12 +183,18 @@ func Compile(src string, doc *xmltree.Doc, opts Options) (*Query, error) {
 			return nil, err
 		}
 		if split == 0 {
+			// Fully navigational; record the (top-down) decision for Cost
+			// against the whole path, since there is no downward prefix.
+			q.cost = chooseStrategy(doc, norm, opts, nil)
 			return q, nil
 		}
 		norm = &Path{Steps: norm.Steps[:split]}
 	}
-	q.plan = planBottomUp(doc, norm, opts)
-	if q.plan == nil {
+	plan := buildBottomUpPlan(doc, norm, opts)
+	q.cost = chooseStrategy(doc, norm, opts, plan)
+	if plan != nil && q.cost.Chosen == StrategyBottomUp {
+		q.plan = plan
+	} else {
 		c := &compiler{doc: doc, f: automata.NewFactory(), opts: opts}
 		auto, err := c.compile(norm)
 		if err != nil {
@@ -191,69 +206,183 @@ func Compile(src string, doc *xmltree.Doc, opts Options) (*Query, error) {
 	return q, nil
 }
 
+// Cost returns the statistics and decision the cost model recorded when the
+// query was compiled.
+func (q *Query) Cost() CostEstimate { return q.cost }
+
 // Count returns the number of result nodes (counting mode, Section 5.5.3).
 func (q *Query) Count() int64 {
-	if q.post != nil {
-		// Navigational steps deduplicate by materializing.
-		return int64(len(q.Nodes()))
+	n, _ := q.CountCtx(context.Background())
+	return n
+}
+
+// CountCtx is Count with cancellation. No strategy materializes a node
+// slice here: the bottom-up plan counts distinct verified candidates during
+// the climb and the automaton runs in counting mode (the deduplicating
+// fallbacks for navigational and possibly-overcounting queries still
+// materialize, as before).
+func (q *Query) CountCtx(ctx context.Context) (int64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	if q.post != nil || (q.plan == nil && q.mayOvercount) {
+		// Navigational steps and non-disjoint counters deduplicate by
+		// materializing.
+		nodes, err := q.NodesCtx(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(nodes)), nil
 	}
 	if q.plan != nil {
-		nodes := q.plan.run()
-		q.setStats(automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))})
-		return int64(len(nodes))
-	}
-	if q.mayOvercount {
-		return int64(len(q.Nodes()))
+		n, err := q.plan.countCtx(ctx)
+		if err != nil {
+			return 0, err
+		}
+		q.setStats(automata.Stats{Visited: n, Marked: n})
+		return n, nil
 	}
 	ev := automata.NewEvaluator(q.auto, q.doc, automata.Count, q.opts.Eval)
-	n, _ := ev.Run()
+	n, _, err := ev.RunContext(ctx)
+	if err != nil {
+		return 0, err
+	}
 	q.setStats(ev.Stats)
-	return n
+	return n, nil
 }
 
 // Nodes materializes the result nodes in document order.
 func (q *Query) Nodes() []int {
+	nodes, _ := q.NodesCtx(context.Background())
+	return nodes
+}
+
+// NodesCtx is Nodes with cancellation: a nil error means the slice is the
+// complete result set.
+func (q *Query) NodesCtx(ctx context.Context) ([]int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if q.post != nil {
-		nodes, stats := q.prefixNodes()
+		nodes, stats, err := q.prefixNodes(ctx)
+		if err != nil {
+			return nil, err
+		}
 		for _, st := range q.post {
-			nodes = navApplyStep(q.doc, q.opts, nodes, st)
+			nodes, err = navApplyStep(ctx, q.doc, q.opts, nodes, st)
+			if err != nil {
+				return nil, err
+			}
 		}
 		stats.Marked = int64(len(nodes))
 		q.setStats(stats)
-		return nodes
+		return nodes, nil
 	}
 	if q.plan != nil {
-		nodes := q.plan.run()
+		nodes, err := q.plan.runCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
 		q.setStats(automata.Stats{Visited: int64(len(nodes)), Marked: int64(len(nodes))})
-		return nodes
+		return nodes, nil
 	}
 	ev := automata.NewEvaluator(q.auto, q.doc, automata.Materialize, q.opts.Eval)
-	_, nodes := ev.Run()
+	_, nodes, err := ev.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	q.setStats(ev.Stats)
-	return nodes
+	return nodes, nil
+}
+
+// Exists reports whether the query selects at least one node, without
+// evaluating the full result set: the bottom-up plan stops its climb at the
+// first verified candidate, and streamable top-down queries pull one result
+// from the lazy iterator. Only the navigational and non-streamable shapes
+// fall back to materializing.
+func (q *Query) Exists(ctx context.Context) (bool, error) {
+	if err := ctxErr(ctx); err != nil {
+		return false, err
+	}
+	if q.plan != nil && q.post == nil {
+		return q.plan.existsCtx(ctx)
+	}
+	it := q.Iter(ctx)
+	defer it.Close()
+	_, ok := it.Next()
+	if err := it.Err(); err != nil {
+		return false, err
+	}
+	return ok, nil
+}
+
+// Iter returns a lazy document-order iterator over the result nodes. Pure
+// downward queries (child and descendant axes only) stream via scanIter;
+// every other shape evaluates eagerly on the first Next and iterates the
+// materialized set. The iterator must be closed (or drained) before the
+// underlying index is.
+func (q *Query) Iter(ctx context.Context) ResultIter {
+	if q.streamable() {
+		return newScanIter(ctx, q.doc, q.opts, q.AST.Steps)
+	}
+	nodes, err := q.NodesCtx(ctx)
+	return &materializedIter{nodes: nodes, err: err}
+}
+
+// streamable reports whether the query is in the fragment scanIter
+// evaluates: a pure downward main path with no navigational post segment.
+func (q *Query) streamable() bool {
+	if q.post != nil || len(q.AST.Steps) == 0 {
+		return false
+	}
+	for _, st := range q.AST.Steps {
+		if st.Axis != AxisChild && st.Axis != AxisDescendant {
+			return false
+		}
+	}
+	return true
 }
 
 // prefixNodes evaluates the downward prefix of a query with navigational
 // post steps; an empty prefix yields the root context.
-func (q *Query) prefixNodes() ([]int, automata.Stats) {
+func (q *Query) prefixNodes(ctx context.Context) ([]int, automata.Stats, error) {
 	switch {
 	case q.plan != nil:
-		nodes := q.plan.run()
-		return nodes, automata.Stats{Visited: int64(len(nodes))}
+		nodes, err := q.plan.runCtx(ctx)
+		if err != nil {
+			return nil, automata.Stats{}, err
+		}
+		return nodes, automata.Stats{Visited: int64(len(nodes))}, nil
 	case q.auto != nil:
 		ev := automata.NewEvaluator(q.auto, q.doc, automata.Materialize, q.opts.Eval)
-		_, nodes := ev.Run()
-		return nodes, ev.Stats
+		_, nodes, err := ev.RunContext(ctx)
+		if err != nil {
+			return nil, automata.Stats{}, err
+		}
+		return nodes, ev.Stats, nil
 	default:
-		return []int{q.doc.Root()}, automata.Stats{}
+		return []int{q.doc.Root()}, automata.Stats{}, nil
 	}
 }
 
 // Serialize writes the XML serialization of every result node to w and
 // returns the number of results.
 func (q *Query) Serialize(w io.Writer) (int, error) {
-	nodes := q.Nodes()
-	for _, x := range nodes {
+	return q.SerializeCtx(context.Background(), w)
+}
+
+// SerializeCtx streams the XML serialization of the result nodes to w,
+// pulling from the lazy iterator so streamable queries hold at most one
+// result at a time, and returns the number of results written.
+func (q *Query) SerializeCtx(ctx context.Context, w io.Writer) (int, error) {
+	it := q.Iter(ctx)
+	defer it.Close()
+	n := 0
+	for {
+		x, ok := it.Next()
+		if !ok {
+			break
+		}
 		tag := q.doc.TagOf(x)
 		var err error
 		if tag == q.doc.TextTag() || tag == q.doc.AttrValTag() {
@@ -262,13 +391,14 @@ func (q *Query) Serialize(w io.Writer) (int, error) {
 			err = q.doc.GetSubtree(x, w)
 		}
 		if err != nil {
-			return 0, err
+			return n, err
 		}
 		if _, err := io.WriteString(w, "\n"); err != nil {
-			return 0, err
+			return n, err
 		}
+		n++
 	}
-	return len(nodes), nil
+	return n, it.Err()
 }
 
 func (q *Query) setStats(s automata.Stats) {

@@ -47,6 +47,31 @@ type Query = xpath.Query
 // QueryOptions are the per-query planner and evaluator toggles.
 type QueryOptions = xpath.Options
 
+// Strategy selects between the top-down marking automaton and the
+// bottom-up text-index climb; set it through QueryOptions.ForceStrategy to
+// override the cost model's per-query choice.
+type Strategy = xpath.Strategy
+
+// The evaluation strategies a query can be pinned to.
+const (
+	StrategyAuto     = xpath.StrategyAuto
+	StrategyTopDown  = xpath.StrategyTopDown
+	StrategyBottomUp = xpath.StrategyBottomUp
+)
+
+// ParseStrategy resolves the CLI/wire names of the strategies
+// ("auto", "top-down", "bottom-up" and their abbreviations).
+func ParseStrategy(s string) (Strategy, error) { return xpath.ParseStrategy(s) }
+
+// CostEstimate is the cost model's record of the statistics consulted and
+// the strategy chosen for a compiled query (Query.Cost).
+type CostEstimate = xpath.CostEstimate
+
+// ResultIter streams result nodes lazily in document order (Index.Iter,
+// Query.Iter). Close it — or drain it — before closing the index it reads
+// from.
+type ResultIter = xpath.ResultIter
+
 // Build parses and indexes an XML document held in memory.
 func Build(xml []byte, cfg Config) (*Index, error) {
 	e, err := core.Build(xml, cfg)
