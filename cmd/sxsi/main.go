@@ -47,6 +47,10 @@ func main() {
 	cacheSize := fs.Int("cache", 0, "compiled-query LRU capacity for 'serve'")
 	strategy := fs.String("strategy", "auto", "evaluation strategy: auto, top-down or bottom-up (for 'query' and 'count')")
 	timeout := fs.Duration("timeout", 0, "per-request evaluation deadline for 'serve' (0 = none)")
+	watch := fs.Duration("watch", 0, "poll loaded files every D and hot-swap changed ones for 'serve' (0 = off)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address for 'serve' (empty = off)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrent evaluations for 'serve' (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 0, "max queued requests before 429 for 'serve'")
 	fs.StringVar(in, "in", "", "alias of -i")
 	fs.StringVar(out, "out", "", "alias of -o")
 	fs.Parse(os.Args[2:])
@@ -64,8 +68,15 @@ func main() {
 		if *dir == "" {
 			fatal("missing -dir document directory")
 		}
-		ccfg := collection.Config{Workers: *workers, CacheSize: *cacheSize, RequestTimeout: *timeout, Index: cfg}
-		check(service.Run(*addr, *dir, ccfg, os.Stderr))
+		opts := service.Options{
+			Addr:       *addr,
+			Dir:        *dir,
+			DebugAddr:  *debugAddr,
+			Watch:      *watch,
+			HTTP:       service.Config{MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue},
+			Collection: collection.Config{Workers: *workers, CacheSize: *cacheSize, RequestTimeout: *timeout, Index: cfg},
+		}
+		check(service.Run(opts, os.Stderr))
 		return
 	}
 
@@ -147,7 +158,10 @@ flags: -sample N (FM sampling rate), -rl (run-length text index),
        -no-mmap (copy saved indexes instead of memory-mapping them),
        -strategy auto|top-down|bottom-up (force the evaluation strategy),
        -workers N / -cache N (serve worker pool and query-cache size),
-       -timeout D (serve per-request evaluation deadline, e.g. 30s)`)
+       -timeout D (serve per-request evaluation deadline, e.g. 30s),
+       -watch D (serve: poll files and hot-swap changed indexes),
+       -debug-addr A (serve: net/http/pprof listener),
+       -max-concurrent N / -max-queue N (serve: admission control, 429 when full)`)
 	os.Exit(2)
 }
 

@@ -10,10 +10,17 @@
 //
 //	GET  /healthz                     liveness
 //	GET  /docs                        document list with index statistics
-//	GET  /count?doc=D&q=//a//b        counting mode
+//	GET  /count?doc=D&q=//a//b        counting mode (doc=* fans out)
 //	GET  /query?doc=D&q=//a//b        serialized results (CLI byte-identical)
 //	POST /query                       JSON batch over the worker pool
+//	POST /reload                      hot-swap changed index files
 //	GET  /stats[?doc=D]               serving counters / per-index statistics
+//	GET  /metrics                     Prometheus text-format metrics
+//
+// Operational flags: -watch D polls the loaded files and hot-swaps changed
+// ones every D; -debug-addr serves net/http/pprof on a second listener;
+// -max-concurrent/-max-queue bound in-flight evaluations (excess answers
+// 429 + Retry-After); -timeout D puts a deadline on every evaluation.
 package main
 
 import (
@@ -34,14 +41,27 @@ func main() {
 	sample := flag.Int("sample", 64, "FM-index sampling rate l for documents built from raw XML")
 	rl := flag.Bool("rl", false, "use the run-length text index (repetitive data)")
 	noMmap := flag.Bool("no-mmap", false, "load .sxsi indexes by copying instead of memory-mapping")
+	timeout := flag.Duration("timeout", 0, "per-request evaluation deadline (0 = none)")
+	watch := flag.Duration("watch", 0, "poll loaded files every D and hot-swap changed ones (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrent query evaluations (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "max requests queued for an evaluation slot before answering 429")
 	flag.Parse()
 
-	cfg := collection.Config{
-		Workers:   *workers,
-		CacheSize: *cache,
-		Index:     core.Config{SampleRate: *sample, RunLength: *rl, NoMmap: *noMmap},
+	opts := service.Options{
+		Addr:      *addr,
+		Dir:       *dir,
+		DebugAddr: *debugAddr,
+		Watch:     *watch,
+		HTTP:      service.Config{MaxConcurrent: *maxConcurrent, MaxQueue: *maxQueue},
+		Collection: collection.Config{
+			Workers:        *workers,
+			CacheSize:      *cache,
+			RequestTimeout: *timeout,
+			Index:          core.Config{SampleRate: *sample, RunLength: *rl, NoMmap: *noMmap},
+		},
 	}
-	if err := service.Run(*addr, *dir, cfg, os.Stderr); err != nil {
+	if err := service.Run(opts, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sxsid:", err)
 		os.Exit(1)
 	}

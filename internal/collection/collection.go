@@ -19,7 +19,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -72,21 +71,27 @@ func (c Config) workers() int {
 type Collection struct {
 	cfg Config
 
-	mu   sync.RWMutex
-	docs map[string]*core.Engine
+	mu      sync.RWMutex
+	docs    map[string]*core.Engine
+	sources map[string]docSource // docs that came from files, for Reload
 
 	cacheMu sync.Mutex
 	cache   *lru // nil when caching is disabled
 
-	queries   atomic.Int64
-	errCount  atomic.Int64
-	cacheHits atomic.Int64
-	cacheMiss atomic.Int64
+	met metrics
+}
+
+// docSource remembers where a document was opened from and what the file
+// looked like then, so Reload can detect changes with one stat.
+type docSource struct {
+	path  string
+	mtime time.Time
+	size  int64
 }
 
 // New creates an empty collection.
 func New(cfg Config) *Collection {
-	c := &Collection{cfg: cfg, docs: map[string]*core.Engine{}}
+	c := &Collection{cfg: cfg, docs: map[string]*core.Engine{}, sources: map[string]docSource{}}
 	size := cfg.CacheSize
 	if size == 0 {
 		size = DefaultCacheSize
@@ -98,10 +103,22 @@ func New(cfg Config) *Collection {
 }
 
 // Add registers (or replaces) a document under name. Replacing a document
-// drops its cached compiled queries.
+// drops its cached compiled queries; in-flight evaluations hold their own
+// engine pointer and finish against the old index, so a swap is safe under
+// load. Documents registered through Add are not file-backed and are left
+// alone by Reload.
 func (c *Collection) Add(name string, eng *core.Engine) {
+	c.add(name, eng, nil)
+}
+
+func (c *Collection) add(name string, eng *core.Engine, src *docSource) {
 	c.mu.Lock()
 	c.docs[name] = eng
+	if src != nil {
+		c.sources[name] = *src
+	} else {
+		delete(c.sources, name)
+	}
 	c.mu.Unlock()
 	c.dropCached(name)
 }
@@ -112,6 +129,7 @@ func (c *Collection) Remove(name string) bool {
 	c.mu.Lock()
 	_, ok := c.docs[name]
 	delete(c.docs, name)
+	delete(c.sources, name)
 	c.mu.Unlock()
 	c.dropCached(name)
 	return ok
@@ -170,6 +188,9 @@ func (c *Collection) Len() int {
 // registered, so a daemon that hot-reloads documents does not accumulate
 // dead mappings.
 func (c *Collection) Open(name, path string) error {
+	// Stat before reading: if the file is replaced mid-open, the recorded
+	// mtime/size predate the change and the next Reload re-opens it.
+	fi, statErr := os.Stat(path)
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -190,8 +211,116 @@ func (c *Collection) Open(name, path string) error {
 	if err != nil {
 		return fmt.Errorf("collection: open %s: %w", path, err)
 	}
-	c.Add(name, eng)
+	var src *docSource
+	if statErr == nil {
+		src = &docSource{path: path, mtime: fi.ModTime(), size: fi.Size()}
+	}
+	c.add(name, eng, src)
 	return nil
+}
+
+// ReloadReport summarizes one Reload pass over the file-backed documents.
+type ReloadReport struct {
+	// Reloaded lists documents whose source file changed (mtime or size)
+	// and was re-opened, sorted.
+	Reloaded []string `json:"reloaded"`
+	// Removed lists documents whose source file disappeared and were
+	// unregistered, sorted.
+	Removed []string `json:"removed"`
+	// Unchanged counts documents whose source file was stat-identical.
+	Unchanged int `json:"unchanged"`
+	// Failed maps document names to the error that kept them from
+	// reloading; the previously loaded engine keeps serving.
+	Failed map[string]string `json:"failed,omitempty"`
+}
+
+// Reload re-stats every file-backed document (registered through Open or
+// LoadDir) and re-opens, in parallel on Config.Workers loaders, the ones
+// whose file changed since it was last opened. The swap is the Add pointer
+// flip: in-flight queries finish on the old engine, new requests see the
+// new one, and the old engine's cached compiled queries are dropped. A
+// mapped old index stays mapped until its last query completes and the
+// engine becomes unreachable (the mmap finalizer releases it — see Open).
+// Documents whose file vanished are removed; ones that fail to re-open
+// keep serving the old index and are reported in Failed. Documents added
+// directly with Add have no file and are never touched.
+func (c *Collection) Reload(ctx context.Context) ReloadReport {
+	c.mu.RLock()
+	srcs := make(map[string]docSource, len(c.sources))
+	for name, src := range c.sources {
+		srcs[name] = src
+	}
+	c.mu.RUnlock()
+
+	rep := ReloadReport{Reloaded: []string{}, Removed: []string{}}
+	var mu sync.Mutex
+	fail := func(name string, err error) {
+		mu.Lock()
+		if rep.Failed == nil {
+			rep.Failed = map[string]string{}
+		}
+		rep.Failed[name] = err.Error()
+		mu.Unlock()
+	}
+
+	type job struct {
+		name string
+		src  docSource
+	}
+	var changed []job
+	for name, src := range srcs {
+		fi, err := os.Stat(src.path)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			c.Remove(name)
+			rep.Removed = append(rep.Removed, name)
+		case err != nil:
+			fail(name, err)
+		case fi.ModTime().Equal(src.mtime) && fi.Size() == src.size:
+			rep.Unchanged++
+		default:
+			changed = append(changed, job{name, src})
+		}
+	}
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	workers := c.cfg.workers()
+	if workers > len(changed) {
+		workers = len(changed)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := c.Open(j.name, j.src.path); err != nil {
+					fail(j.name, err)
+					continue
+				}
+				mu.Lock()
+				rep.Reloaded = append(rep.Reloaded, j.name)
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i, j := range changed {
+		select {
+		case jobs <- j:
+		case <-ctx.Done():
+			for _, rest := range changed[i:] {
+				fail(rest.name, ctx.Err())
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Strings(rep.Reloaded)
+	sort.Strings(rep.Removed)
+	c.met.reloads.Add(1)
+	return rep
 }
 
 // LoadDir bulk-loads every .sxsi and .xml file directly under dir using
@@ -277,10 +406,10 @@ func (c *Collection) Compiled(doc, query string) (*xpath.Query, error) {
 	// replacement, cache.add landed after dropCached). Treat it as a miss
 	// and overwrite, so a re-registered name never serves old results.
 	if ok && ent.eng == eng {
-		c.cacheHits.Add(1)
+		c.met.cacheHits.Add(1)
 		return ent.q, nil
 	}
-	c.cacheMiss.Add(1)
+	c.met.cacheMiss.Add(1)
 	q, err := c.compile(eng, query)
 	if err != nil {
 		return nil, err
@@ -374,11 +503,13 @@ func (c *Collection) reqCtx(ctx context.Context) (context.Context, context.Cance
 }
 
 // Do evaluates a single request. Every request counts toward
-// Stats.Queries, failed ones (compile errors, unknown documents,
-// evaluation failures) also toward Stats.Errors. An evaluator panic is
-// recovered into the Result's Err: batch workers run outside net/http's
-// per-request recover, and one poisoned query must not take down the
-// daemon and every loaded document with it.
+// Stats.Queries; failed ones (compile errors, unknown documents,
+// evaluation failures, deadline expiry) also toward Stats.Errors, except
+// cancellations (context.Canceled — the client went away), which count in
+// Stats.Canceled so client behavior does not pollute the error rate. An
+// evaluator panic is recovered into the Result's Err: batch workers run
+// outside net/http's per-request recover, and one poisoned query must not
+// take down the daemon and every loaded document with it.
 func (c *Collection) Do(req Request) Result {
 	return c.DoContext(context.Background(), req)
 }
@@ -389,17 +520,17 @@ func (c *Collection) Do(req Request) Result {
 // context's error.
 func (c *Collection) DoContext(ctx context.Context, req Request) (res Result) {
 	res = Result{Doc: req.Doc, Query: req.Query, Mode: req.Mode}
-	c.queries.Add(1)
+	c.met.queries.Add(1)
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("collection: internal error evaluating %q on %q: %v", req.Query, req.Doc, r)
-			c.errCount.Add(1)
 		}
+		c.met.done(int(req.Mode), time.Since(start), res.Err)
 	}()
 	q, err := c.Compiled(req.Doc, req.Query)
 	if err != nil {
 		res.Err = err
-		c.errCount.Add(1)
 		return res
 	}
 	ctx, cancel := c.reqCtx(ctx)
@@ -425,9 +556,6 @@ func (c *Collection) DoContext(ctx context.Context, req Request) (res Result) {
 	default:
 		res.Err = fmt.Errorf("collection: unknown mode %d", req.Mode)
 	}
-	if res.Err != nil {
-		c.errCount.Add(1)
-	}
 	return res
 }
 
@@ -446,24 +574,21 @@ func (c *Collection) Serialize(doc, query string, w io.Writer) (int64, error) {
 // after a prefix of the results has been written; the HTTP layer turns
 // that into an aborted connection rather than a silently truncated body.
 func (c *Collection) SerializeContext(ctx context.Context, doc, query string, w io.Writer) (n int64, err error) {
-	c.queries.Add(1)
+	c.met.queries.Add(1)
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("collection: internal error evaluating %q on %q: %v", query, doc, r)
-			c.errCount.Add(1)
 		}
+		c.met.done(modeStream, time.Since(start), err)
 	}()
 	q, err := c.Compiled(doc, query)
 	if err != nil {
-		c.errCount.Add(1)
 		return 0, err
 	}
 	ctx, cancel := c.reqCtx(ctx)
 	defer cancel()
 	k, err := q.SerializeCtx(ctx, w)
-	if err != nil {
-		c.errCount.Add(1)
-	}
 	return int64(k), err
 }
 
@@ -528,7 +653,9 @@ feed:
 // Stats is a snapshot of the collection's serving counters. MappedDocs
 // counts documents whose index payloads alias a mapped file; MappedBytes
 // and HeapBytes aggregate the per-engine split of shared (page-cache
-// backed) versus private index memory.
+// backed) versus private index memory. Canceled counts requests the client
+// abandoned (context.Canceled), kept out of Errors so the error rate
+// reflects server behavior only; Reloads counts Reload passes.
 type Stats struct {
 	Docs        int   `json:"docs"`
 	MappedDocs  int   `json:"mapped_docs"`
@@ -536,6 +663,8 @@ type Stats struct {
 	HeapBytes   int64 `json:"heap_bytes"`
 	Queries     int64 `json:"queries"`
 	Errors      int64 `json:"errors"`
+	Canceled    int64 `json:"canceled"`
+	Reloads     int64 `json:"reloads"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheLen    int   `json:"cache_len"`
@@ -544,10 +673,12 @@ type Stats struct {
 // Stats reports the current serving counters.
 func (c *Collection) Stats() Stats {
 	s := Stats{
-		Queries:     c.queries.Load(),
-		Errors:      c.errCount.Load(),
-		CacheHits:   c.cacheHits.Load(),
-		CacheMisses: c.cacheMiss.Load(),
+		Queries:     c.met.queries.Load(),
+		Errors:      c.met.errors.Load(),
+		Canceled:    c.met.canceled.Load(),
+		Reloads:     c.met.reloads.Load(),
+		CacheHits:   c.met.cacheHits.Load(),
+		CacheMisses: c.met.cacheMiss.Load(),
 	}
 	c.mu.RLock()
 	s.Docs = len(c.docs)

@@ -1,0 +1,130 @@
+package collection
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the collection's instrumentation: every serving counter
+// lives behind the metrics wrapper below instead of as loose atomics on
+// Collection, so the HTTP layer can render one coherent snapshot (the
+// Prometheus /metrics endpoint) and the accounting rules — what counts as
+// an error, what counts as a cancellation — are written down exactly once.
+
+// LatencyBuckets are the upper bounds, in seconds, of the per-mode request
+// latency histograms (cumulative, Prometheus-style; an implicit +Inf bucket
+// follows the last bound). The range spans cache-hit counting queries
+// (~tens of µs) to multi-second serializations of huge result sets.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+const numLatencyBuckets = 16 // len(LatencyBuckets); fixed so arrays work
+
+// histogram is a fixed-bucket latency histogram with atomic counters; safe
+// for concurrent observation without locks. Bucket counts are stored
+// non-cumulative and accumulated at snapshot time.
+type histogram struct {
+	counts   [numLatencyBuckets + 1]atomic.Int64 // last = overflow (+Inf)
+	sumNanos atomic.Int64
+	total    atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < numLatencyBuckets && sec > LatencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.total.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of one latency histogram.
+// Counts are cumulative per bucket (Prometheus semantics): Counts[i] is the
+// number of observations ≤ LatencyBuckets[i], and Counts[len-1] == Count.
+type HistogramSnapshot struct {
+	Counts     []int64 // len(LatencyBuckets)+1; last is the +Inf bucket
+	SumSeconds float64
+	Count      int64
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Counts: make([]int64, numLatencyBuckets+1)}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	// Count is derived from the buckets, not the total counter, so the
+	// snapshot is internally consistent even if it races an observe().
+	s.Count = cum
+	s.SumSeconds = time.Duration(h.sumNanos.Load()).Seconds()
+	return s
+}
+
+// modeStream indexes the latency histogram of streamed serializations
+// (SerializeContext, the GET /query path), which is not a batch Mode.
+const modeStream = int(ModeExists) + 1
+
+const numLatencyModes = modeStream + 1
+
+// latencyModeLabels names the histogram slots; the first four match
+// Mode.String().
+var latencyModeLabels = [numLatencyModes]string{
+	"count", "nodes", "serialize", "exists", "stream",
+}
+
+// metrics is the instrumented counter set of a Collection. All methods are
+// safe for concurrent use.
+type metrics struct {
+	queries   atomic.Int64
+	errors    atomic.Int64
+	canceled  atomic.Int64
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+	reloads   atomic.Int64
+	latency   [numLatencyModes]histogram
+}
+
+// done records the completion of one evaluation: its latency under the
+// given mode slot, and the outcome. A context.Canceled failure is client
+// behavior (a dropped connection), not a server fault: it lands in the
+// canceled counter so the error rate stays meaningful. Deadline expiry
+// (context.DeadlineExceeded) stays an error — the server failed to answer
+// within its own budget.
+func (m *metrics) done(mode int, d time.Duration, err error) {
+	if mode >= 0 && mode < numLatencyModes {
+		m.latency[mode].observe(d)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		m.canceled.Add(1)
+	default:
+		m.errors.Add(1)
+	}
+}
+
+// Metrics is a point-in-time snapshot of the collection's instrumentation:
+// the Stats counters plus the per-mode latency histograms, keyed by mode
+// label ("count", "nodes", "serialize", "exists" and "stream" for streamed
+// GET /query serializations). Bucket upper bounds are LatencyBuckets.
+type Metrics struct {
+	Stats
+	Latency map[string]HistogramSnapshot
+}
+
+// Metrics returns a snapshot of every serving counter and latency
+// histogram.
+func (c *Collection) Metrics() Metrics {
+	m := Metrics{Stats: c.Stats(), Latency: make(map[string]HistogramSnapshot, numLatencyModes)}
+	for i := range c.met.latency {
+		m.Latency[latencyModeLabels[i]] = c.met.latency[i].snapshot()
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errAdmissionFull rejects a request when every evaluation slot is taken
+// and the wait queue is at capacity; the HTTP layer maps it to 429 with a
+// Retry-After hint.
+var errAdmissionFull = errors.New("service: server at capacity, retry later")
+
+// admission is a semaphore bounding concurrent query evaluations plus a
+// bounded count of waiters. Under a burst of pathological queries the
+// server degrades gracefully — MaxConcurrent evaluations run,
+// MaxQueue requests wait (still bounded by their own contexts), and the
+// rest are turned away immediately — instead of accumulating a goroutine
+// and an evaluation per queued connection. A nil *admission admits
+// everything, so the unlimited default costs nothing per request.
+type admission struct {
+	sem      chan struct{} // buffered to MaxConcurrent; a send is an acquire
+	maxQueue int64
+	queued   atomic.Int64
+	rejected atomic.Int64
+}
+
+func newAdmission(cfg Config) *admission {
+	if cfg.MaxConcurrent <= 0 {
+		return nil
+	}
+	return &admission{sem: make(chan struct{}, cfg.MaxConcurrent), maxQueue: int64(cfg.MaxQueue)}
+}
+
+// acquire claims an evaluation slot, waiting in the bounded queue if none
+// is free. It returns nil (caller must release), errAdmissionFull, or the
+// context's error if the client went away while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return errAdmissionFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	if a != nil {
+		<-a.sem
+	}
+}
+
+func (a *admission) inFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.sem)
+}
+
+func (a *admission) queuedNow() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.queued.Load()
+}
+
+func (a *admission) rejectedTotal() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.rejected.Load()
+}

@@ -127,17 +127,18 @@ func TestBatchCancellation(t *testing.T) {
 	if err := <-errCh; err == nil {
 		t.Fatal("client Do succeeded despite cancellation")
 	}
-	// The worker observed the cancellation: the request is accounted as an
-	// error, not a success (and the server did not wedge — Stats would block
-	// forever on a deadlocked worker holding the engine lock).
+	// The worker observed the cancellation: the request is accounted as a
+	// cancellation — client behavior, kept out of the error counter — not
+	// as a success or an error (and the server did not wedge — Stats would
+	// block forever on a deadlocked worker holding the engine lock).
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		st := c.Stats()
-		if st.Queries == 1 && st.Errors == 1 {
+		if st.Queries == 1 && st.Canceled == 1 && st.Errors == 0 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("stats = %+v, want Queries=1 Errors=1", st)
+			t.Fatalf("stats = %+v, want Queries=1 Canceled=1 Errors=0", st)
 		}
 		time.Sleep(time.Millisecond)
 	}

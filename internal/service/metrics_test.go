@@ -1,0 +1,132 @@
+package service
+
+// Tests for the Prometheus /metrics endpoint and for the two response-path
+// bugfixes riding along: the 413 on oversized batch bodies and the
+// Flusher-forwarding tracking writer.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint pins the exposition content: counter and histogram
+// series with the right names, values reflecting the traffic served, and
+// the text-format content type. CI runs it (with -race) as the metrics
+// smoke check.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// One success and one compile failure, both in count mode.
+	if code, _ := get(t, ts.URL+"/count?doc=lib&q="+escape("//book")); code != http.StatusOK {
+		t.Fatal("warm-up count failed")
+	}
+	if code, _ := get(t, ts.URL+"/count?doc=lib&q="+escape("//book[")); code != http.StatusBadRequest {
+		t.Fatal("warm-up bad query not 400")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type: %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE sxsi_queries_total counter",
+		"sxsi_queries_total 2",
+		"sxsi_query_errors_total 1",
+		"sxsi_query_canceled_total 0",
+		"# TYPE sxsi_query_duration_seconds histogram",
+		`sxsi_query_duration_seconds_bucket{mode="count",le="+Inf"} 2`,
+		`sxsi_query_duration_seconds_count{mode="count"} 2`,
+		`sxsi_query_duration_seconds_sum{mode="count"} `,
+		`sxsi_query_duration_seconds_bucket{mode="stream",le="+Inf"} 0`,
+		"sxsi_cache_hit_ratio 0",
+		"sxsi_cache_misses_total 2",
+		"sxsi_docs 1",
+		"sxsi_index_mapped_bytes 0", // built in-memory, nothing mapped
+		"sxsi_go_goroutines ",
+		"sxsi_uptime_seconds ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Histogram buckets are cumulative: every count-mode bucket count must
+	// be ≤ the +Inf value and non-decreasing.
+	last := int64(-1)
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, `sxsi_query_duration_seconds_bucket{mode="count"`) {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("buckets not cumulative at %q", line)
+		}
+		last = v
+	}
+	if last != 2 {
+		t.Fatalf("last count bucket = %d, want 2", last)
+	}
+}
+
+// TestBatchBodyTooLarge pins the 413: an oversized batch body is rejected
+// with a clear message instead of being silently truncated into a
+// confusing 400 JSON parse error.
+func TestBatchBodyTooLarge(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := strings.NewReader(`{"requests":[` + strings.Repeat(" ", maxBatchBody+1024) + `]}`)
+	resp, err := http.Post(ts.URL+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: %d, want 413", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), "limit") {
+		t.Fatalf("413 body: %s", raw)
+	}
+}
+
+// TestTrackingWriterFlushes pins the Flusher forwarding: a streamed body
+// larger than flushEvery reaches the client before the handler returns
+// (previously the wrapper hid the Flusher and bytes sat in net/http's
+// buffer until it filled).
+func TestTrackingWriterFlushes(t *testing.T) {
+	rec := httptest.NewRecorder()
+	tw := newTrackingWriter(rec)
+	if _, err := tw.Write(make([]byte, flushEvery/2)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Flushed {
+		t.Fatal("flushed below the threshold")
+	}
+	if _, err := tw.Write(make([]byte, flushEvery/2+1)); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Flushed {
+		t.Fatal("did not flush past the threshold")
+	}
+	if !tw.wrote {
+		t.Fatal("wrote not tracked")
+	}
+}
