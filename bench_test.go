@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -79,6 +80,27 @@ func BenchmarkBuild(b *testing.B) {
 		if _, err := core.Build(corpora.xmark, core.Config{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildParallel measures the staged parallel build (internal/build)
+// on the XMark corpus at one worker and at NumCPU workers. The two
+// sub-benchmarks share a corpus and differ only in -p, so their ratio is the
+// end-to-end parallel speedup (suffix sort chunked across workers, structure
+// assembly overlapped with the text side); on multi-core hardware p=NumCPU
+// is expected to be well over 2.5x faster than p=1.
+func BenchmarkBuildParallel(b *testing.B) {
+	setup(b)
+	for _, p := range []int{1, runtime.NumCPU()} {
+		b.Run("p="+strconv.Itoa(p), func(b *testing.B) {
+			cfg := core.Config{BuildProcs: p}
+			b.SetBytes(int64(len(corpora.xmark)))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildContext(context.Background(), corpora.xmark, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -546,7 +568,10 @@ func BenchmarkSelectDense(b *testing.B) {
 // BenchmarkTable7_WordIndex runs phrase queries through the word index.
 func BenchmarkTable7_WordIndex(b *testing.B) {
 	setup(b)
-	widx := wordindex.New(corpora.medlineIdx.Doc.Plain.All())
+	widx, err := wordindex.New(corpora.medlineIdx.Doc.Plain.All())
+	if err != nil {
+		b.Fatal(err)
+	}
 	eng := corpora.medlineIdx.WithQueryOptions(xpath.Options{
 		CustomMatchSets: map[string]func(string) []int32{"wcontains": widx.ContainsPhrase},
 	})

@@ -18,10 +18,16 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	"repro/internal/collection"
 	"repro/internal/core"
@@ -39,6 +45,8 @@ func main() {
 	out := fs.String("o", "", "output index file (for 'build')")
 	q := fs.String("q", "", "XPath query (may also be given positionally)")
 	sample := fs.Int("sample", 64, "FM-index sampling rate l")
+	procs := fs.Int("p", 0, "parallel build workers (0 = all CPUs; for 'build')")
+	mem := fs.String("mem", "", "build memory budget, e.g. 512M or 2G (empty = unbounded; for 'build')")
 	rl := fs.Bool("rl", false, "use the run-length text index (repetitive data)")
 	noMmap := fs.Bool("no-mmap", false, "load saved indexes by copying instead of memory-mapping")
 	addr := fs.String("addr", ":8080", "listen address (for 'serve')")
@@ -58,7 +66,14 @@ func main() {
 		*q = fs.Arg(0)
 	}
 
-	cfg := core.Config{SampleRate: *sample, RunLength: *rl, NoMmap: *noMmap}
+	cfg := core.Config{SampleRate: *sample, RunLength: *rl, NoMmap: *noMmap, BuildProcs: *procs}
+	if *mem != "" {
+		budget, err := parseMem(*mem)
+		if err != nil {
+			fatal(err.Error())
+		}
+		cfg.MemoryBudget = budget
+	}
 	st, err := xpath.ParseStrategy(*strategy)
 	if err != nil {
 		fatal(err.Error())
@@ -89,8 +104,22 @@ func main() {
 		if *out == "" {
 			fatal("missing -o output index file")
 		}
-		eng := open(*in, cfg)
-		n, err := eng.SaveFile(*out)
+		// A build may run for a long time on large corpora: make SIGINT and
+		// SIGTERM cancel it cleanly. Every pipeline stage polls the context,
+		// and an interrupted save removes its temporary file, so no partial
+		// .sxsi or orphaned .sxsi.tmp is left behind.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		data, err := os.ReadFile(*in)
+		check(err)
+		var eng *core.Engine
+		if core.IsIndexData(data) {
+			eng, err = core.Load(bytes.NewReader(data), cfg)
+		} else {
+			eng, err = core.BuildContext(ctx, data, cfg)
+		}
+		check(err)
+		n, err := eng.SaveFileCtx(ctx, *out)
 		check(err)
 		fmt.Printf("wrote %d bytes to %s\n", n, *out)
 	case "count":
@@ -144,6 +173,33 @@ func open(path string, cfg core.Config) *core.Engine {
 	return eng
 }
 
+// parseMem parses a memory budget: a plain byte count, or a number with a
+// K/M/G/T suffix (binary units), case-insensitive, e.g. "512M", "2g".
+func parseMem(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	shift := 0
+	switch {
+	case t == "":
+		return 0, fmt.Errorf("invalid memory budget %q", s)
+	default:
+		switch t[len(t)-1] {
+		case 'k', 'K':
+			shift, t = 10, t[:len(t)-1]
+		case 'm', 'M':
+			shift, t = 20, t[:len(t)-1]
+		case 'g', 'G':
+			shift, t = 30, t[:len(t)-1]
+		case 't', 'T':
+			shift, t = 40, t[:len(t)-1]
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n <= 0 || n > (1<<62)>>shift {
+		return 0, fmt.Errorf("invalid memory budget %q (want e.g. 512M, 2G)", s)
+	}
+	return n << shift, nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: sxsi <command> -i FILE [flags] [QUERY]
 
@@ -155,6 +211,8 @@ commands:
   serve  -dir DIR [-addr :8080]     serve a directory of documents over HTTP
 
 flags: -sample N (FM sampling rate), -rl (run-length text index),
+       -p N (build: parallel workers, 0 = all CPUs),
+       -mem BUDGET (build: transient memory budget, e.g. 512M or 2G),
        -no-mmap (copy saved indexes instead of memory-mapping them),
        -strategy auto|top-down|bottom-up (force the evaluation strategy),
        -workers N / -cache N (serve worker pool and query-cache size),

@@ -25,7 +25,10 @@ func main() {
 
 	// Build the word index over the same text collection and register it.
 	start := time.Now()
-	widx := wordindex.New(idx.Doc.Plain.All())
+	widx, err := wordindex.New(idx.Doc.Plain.All())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("word index: %d tokens, %d distinct words, built in %v\n",
 		widx.NumWords(), widx.VocabSize(), time.Since(start).Round(time.Millisecond))
 

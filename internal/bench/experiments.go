@@ -419,7 +419,10 @@ func Table7(w io.Writer, scale Scale) {
 			data = med
 		}
 		eng, _ := core.Build(data, core.Config{})
-		widx := wordindex.New(eng.Doc.Plain.All())
+		widx, err := wordindex.New(eng.Doc.Plain.All())
+		if err != nil {
+			panic(q.ID + ": " + err.Error())
+		}
 		opts := xpath.Options{CustomMatchSets: map[string]func(string) []int32{
 			"wcontains": widx.ContainsPhrase,
 		}}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 
 	"repro/internal/automata"
+	"repro/internal/build"
 	"repro/internal/fmindex"
 	"repro/internal/mmap"
 	"repro/internal/persist"
@@ -68,6 +69,16 @@ type Config struct {
 	// NoMmap disables the memory-mapped load path of OpenFile: the index is
 	// copied into private memory as with LoadFile.
 	NoMmap bool
+	// BuildProcs is the worker count for parallel index construction
+	// (0 = GOMAXPROCS). Any value produces the same index.
+	BuildProcs int
+	// MemoryBudget bounds the transient construction memory in bytes
+	// (0 = unbounded): sort chunks are sized against it and per-chunk
+	// suffix arrays spill to temporary files when RAM would not suffice.
+	MemoryBudget int64
+	// BuildTempDir receives the spill files of bounded builds
+	// ("" = os.TempDir()).
+	BuildTempDir string
 	// Query carries the per-query evaluation options.
 	Query xpath.Options
 }
@@ -86,7 +97,21 @@ func (c Config) treeOptions() xmltree.Options {
 
 // Build parses and indexes an XML document held in memory.
 func Build(xml []byte, cfg Config) (*Engine, error) {
-	doc, err := xmltree.Parse(xml, cfg.treeOptions())
+	return BuildContext(context.Background(), xml, cfg)
+}
+
+// BuildContext is Build with cancellation and resource control: it runs the
+// staged pipeline of package build — parse, then structure assembly and the
+// chunk-parallel text-index construction (cfg.BuildProcs workers, transient
+// memory bounded by cfg.MemoryBudget) — polling ctx at bounded intervals in
+// every stage. The produced index is byte-identical to a serial build.
+func BuildContext(ctx context.Context, xml []byte, cfg Config) (*Engine, error) {
+	doc, err := build.Document(ctx, xml, build.Options{
+		Tree:         cfg.treeOptions(),
+		Procs:        cfg.BuildProcs,
+		MemoryBudget: cfg.MemoryBudget,
+		TempDir:      cfg.BuildTempDir,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +139,14 @@ func (e *Engine) Save(w io.Writer) (int64, error) { return e.Doc.WriteTo(w) }
 // (mapped) reader would trust. The containing directory is fsynced
 // best-effort to persist the rename itself.
 func (e *Engine) SaveFile(path string) (int64, error) {
+	return e.SaveFileCtx(context.Background(), path)
+}
+
+// SaveFileCtx is SaveFile with cancellation: the writer checks ctx between
+// section writes, so an interrupted save aborts promptly and takes the
+// error path of the atomic write — the temporary file is removed and path
+// is left untouched (no orphaned .sxsi.tmp).
+func (e *Engine) SaveFileCtx(ctx context.Context, path string) (int64, error) {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -128,7 +161,11 @@ func (e *Engine) SaveFile(path string) (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
-	n, err := e.Save(f)
+	var w io.Writer = f
+	if ctx != nil && ctx.Done() != nil {
+		w = &ctxWriter{ctx: ctx, w: f}
+	}
+	n, err := e.Save(w)
 	if err == nil {
 		err = f.Sync()
 	}
@@ -149,6 +186,21 @@ func (e *Engine) SaveFile(path string) (int64, error) {
 		d.Close()
 	}
 	return n, nil
+}
+
+// ctxWriter fails writes once its context is done. Writes arrive in
+// section-sized batches from the persist layer, so the per-call check is
+// both cheap and prompt.
+type ctxWriter struct {
+	ctx context.Context
+	w   io.Writer
+}
+
+func (cw *ctxWriter) Write(p []byte) (int, error) {
+	if err := cw.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return cw.w.Write(p)
 }
 
 // Load reads an index previously written by Save.

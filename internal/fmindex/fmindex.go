@@ -10,6 +10,7 @@
 package fmindex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,8 +65,37 @@ type Index struct {
 // ErrNulByte reports a text containing the reserved terminator byte.
 var ErrNulByte = errors.New("fmindex: text contains NUL byte (reserved terminator)")
 
+// ErrTooLarge reports a text collection too long for the int32 position
+// arithmetic of the suffix sorter: the total length including one
+// terminator per text must stay below 2^31-1 symbols. It aliases
+// sais.ErrTooLarge so either spelling matches with errors.Is.
+var ErrTooLarge = sais.ErrTooLarge
+
+// collectionSize returns |T| — the total length including one terminator
+// per text — and validates it against the suffix sorter's int32 position
+// limit. This is the shared entry-point guard: New, NewCtx and NewParallel
+// all reject oversized collections here instead of silently corrupting the
+// suffix array downstream.
+func collectionSize(texts [][]byte) (int, error) {
+	n := 0
+	for _, t := range texts {
+		n += len(t) + 1
+	}
+	if err := sais.CheckSize(n); err != nil {
+		return 0, fmt.Errorf("fmindex: %w", err)
+	}
+	return n, nil
+}
+
 // New builds the index over the given texts. Texts must not contain byte 0.
 func New(texts [][]byte, opts Options) (*Index, error) {
+	return NewCtx(context.Background(), texts, opts)
+}
+
+// NewCtx is New with cancellation: the suffix sort — the dominant
+// construction cost — polls ctx at bounded intervals, and the surrounding
+// passes check it between stages.
+func NewCtx(ctx context.Context, texts [][]byte, opts Options) (*Index, error) {
 	if opts.SampleRate <= 0 {
 		opts.SampleRate = 64
 	}
@@ -73,9 +103,9 @@ func New(texts [][]byte, opts Options) (*Index, error) {
 		opts.Builder = WaveletBuilder
 	}
 	d := len(texts)
-	n := 0
-	for _, t := range texts {
-		n += len(t) + 1
+	n, err := collectionSize(texts)
+	if err != nil {
+		return nil, err
 	}
 	idx := &Index{d: d, n: n, l: opts.SampleRate}
 	if d == 0 {
@@ -104,7 +134,10 @@ func New(texts [][]byte, opts Options) (*Index, error) {
 	}
 	idx.strt = bitvec.NewSparse(n+1, starts)
 
-	sa := sais.Compute(s, d+256)
+	sa, err := sais.ComputeCtx(ctx, s, d+256)
+	if err != nil {
+		return nil, err
+	}
 
 	// BWT with terminators collapsed to byte 0; build doc and samples.
 	bwt := make([]byte, n)

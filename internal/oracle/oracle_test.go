@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -107,6 +108,50 @@ func checkOne(t *testing.T, name string, eng *core.Engine, tree *dom.Tree, q str
 		return false
 	}
 	return true
+}
+
+// TestDifferentialParallelBuild runs the differential oracle over engines
+// built by the parallel, memory-bounded pipeline (8 workers, a 1 MiB
+// transient budget that forces the spill path): ≥450 random (document,
+// query) pairs across the 5 corpora × 2 seeds must match the dom walker
+// exactly. Together with the byte-identity suite in package build, this
+// pins that parallel-built indexes answer queries identically.
+func TestDifferentialParallelBuild(t *testing.T) {
+	const queriesPerDoc = 45
+	pairs, mismatches := 0, 0
+	cfg := core.Config{SampleRate: 4, BuildProcs: 8, MemoryBudget: 1 << 20, BuildTempDir: t.TempDir()}
+	for _, c := range corpora {
+		for seed := uint64(1); seed <= 2; seed++ {
+			data := c.data(seed)
+			eng, err := core.BuildContext(context.Background(), data, cfg)
+			if err != nil {
+				t.Fatalf("%s/%d: parallel build: %v", c.name, seed, err)
+			}
+			tree, err := dom.Parse(data)
+			if err != nil {
+				t.Fatalf("%s/%d: dom: %v", c.name, seed, err)
+			}
+			v := ExtractVocab(tree, 200)
+			r := gen.NewRNG(seed*104729 + 17)
+			for i := 0; i < queriesPerDoc; i++ {
+				q := RandomQuery(r, v)
+				pairs++
+				if !checkOne(t, c.name, eng, tree, q) {
+					mismatches++
+					if mismatches > 10 {
+						t.Fatal("too many mismatches, stopping")
+					}
+				}
+			}
+		}
+	}
+	if pairs < 450 {
+		t.Fatalf("only %d differential pairs, want >= 450", pairs)
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d/%d pairs mismatched", mismatches, pairs)
+	}
+	t.Logf("%d differential pairs over parallel-built indexes, zero mismatches", pairs)
 }
 
 // TestGeneratedQueriesAlwaysCompile pins the generator's contract: every

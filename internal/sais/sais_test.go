@@ -1,6 +1,9 @@
 package sais
 
 import (
+	"context"
+	"errors"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -41,7 +44,10 @@ func equalSA(a, b []int32) bool {
 
 func check(t *testing.T, s []int32, k int) {
 	t.Helper()
-	got := Compute(s, k)
+	got, err := Compute(s, k)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := naiveSA(s)
 	if !equalSA(got, want) {
 		t.Fatalf("SA mismatch for %v:\n got %v\nwant %v", s, got, want)
@@ -66,7 +72,11 @@ func TestKnownStrings(t *testing.T) {
 }
 
 func TestEmpty(t *testing.T) {
-	if got := Compute(nil, 10); got != nil {
+	got, err := Compute(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
 		t.Fatalf("empty SA should be nil, got %v", got)
 	}
 }
@@ -79,7 +89,10 @@ func TestMultiTerminator(t *testing.T) {
 	s := []int32{a, b, 0, a, b, 1, b, 2}
 	check(t, s, int(d)+256)
 	// First d entries of the SA must be the terminator positions in text order.
-	sa := Compute(s, int(d)+256)
+	sa, err := Compute(s, int(d)+256)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sa[0] != 2 || sa[1] != 5 || sa[2] != 7 {
 		t.Fatalf("terminator ordering violated: %v", sa[:3])
 	}
@@ -129,7 +142,10 @@ func TestRepetitive(t *testing.T) {
 }
 
 func TestComputeBytes(t *testing.T) {
-	got := ComputeBytes([]byte("banana"))
+	got, err := ComputeBytes([]byte("banana"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := naiveSA(toInt32("banana"))
 	if !equalSA(got, want) {
 		t.Fatalf("got %v want %v", got, want)
@@ -143,7 +159,10 @@ func TestLargeRandomConsistency(t *testing.T) {
 	for i := range s {
 		s[i] = int32(r.Intn(8))
 	}
-	sa := Compute(s, 8)
+	sa, err := Compute(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Verify it is a permutation and sorted (adjacent comparisons only).
 	seen := make([]bool, n)
 	for _, p := range sa {
@@ -179,6 +198,76 @@ func BenchmarkSAIS1MB(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Compute(s, 60)
+		if _, err := Compute(s, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestErrTooLarge pins the int32 overflow guard at its exact boundary
+// without allocating gigabytes: CheckSize carries the guard logic, and the
+// entry points route through it (pinned on a representative fake length via
+// the exported check; Compute itself is exercised at the small end).
+func TestErrTooLarge(t *testing.T) {
+	if err := CheckSize(math.MaxInt32 - 1); err != nil {
+		t.Fatalf("n = 2^31-2 must be accepted, got %v", err)
+	}
+	if err := CheckSize(math.MaxInt32); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("n = 2^31-1 must return ErrTooLarge, got %v", err)
+	}
+	if err := CheckSize(math.MaxInt32 + 1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("n = 2^31 must return ErrTooLarge, got %v", err)
+	}
+	// A normal-size input through the real entry points stays error-free.
+	if _, err := Compute([]int32{1, 0, 1}, 2); err != nil {
+		t.Fatalf("small Compute: %v", err)
+	}
+	if _, err := ComputeBytes([]byte("ok")); err != nil {
+		t.Fatalf("small ComputeBytes: %v", err)
+	}
+}
+
+// cancelAfterFirstPoll is a context that reports itself done as soon as its
+// Err method has been consulted once: the run is guaranteed to be past the
+// entry check and mid-induced-sort, so the test pins that the inner loops
+// really poll (mirrors the query-side pollCtx pattern of the xpath tests).
+type cancelAfterFirstPoll struct {
+	context.Context
+	polled bool
+}
+
+func (c *cancelAfterFirstPoll) Done() <-chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+func (c *cancelAfterFirstPoll) Err() error {
+	if c.polled {
+		return context.Canceled
+	}
+	c.polled = true
+	return nil
+}
+
+// TestComputeCtxCancel is the regression test for the build-cancellation
+// bugfix: a cancelled context aborts the suffix sort mid-flight with
+// context.Canceled instead of running to completion.
+func TestComputeCtxCancel(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := make([]int32, 1<<20)
+	for i := range s {
+		s[i] = int32(r.Intn(4))
+	}
+	ctx := &cancelAfterFirstPoll{Context: context.Background()}
+	if _, err := ComputeCtx(ctx, s, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: got %v, want context.Canceled", err)
+	}
+	if !ctx.polled {
+		t.Fatal("the sort never polled the context")
+	}
+	// An uncancelled run over the same input still succeeds.
+	if _, err := ComputeCtx(context.Background(), s, 4); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -16,7 +16,7 @@ func TestWordIndexSaveLoadRoundTrip(t *testing.T) {
 		[]byte(""),
 		[]byte("dog eat dog world"),
 	}
-	ix := New(texts)
+	ix := mustNew(t, texts)
 	var buf bytes.Buffer
 	if err := ix.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -41,7 +41,7 @@ func TestWordIndexSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestWordIndexLoadCorrupt(t *testing.T) {
-	ix := New([][]byte{[]byte("one two three"), []byte("two three four")})
+	ix := mustNew(t, [][]byte{[]byte("one two three"), []byte("two three four")})
 	var buf bytes.Buffer
 	ix.Save(&buf)
 	data := buf.Bytes()

@@ -7,10 +7,16 @@
 package wordindex
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/sais"
 )
+
+// ErrTooLarge reports a collection whose token sequence (including one
+// terminator per text) is too long for the suffix sorter's int32 positions;
+// it aliases sais.ErrTooLarge so either spelling matches with errors.Is.
+var ErrTooLarge = sais.ErrTooLarge
 
 // Index is a word-level suffix array over a text collection.
 type Index struct {
@@ -45,7 +51,9 @@ func Tokenize(text []byte) []string {
 }
 
 // New builds the index over the texts. Text identifiers follow slice order.
-func New(texts [][]byte) *Index {
+// Collections whose token sequence would overflow the suffix sorter's int32
+// positions return ErrTooLarge.
+func New(texts [][]byte) (*Index, error) {
 	ix := &Index{vocab: map[string]int32{}, d: len(texts)}
 	d := int32(len(texts))
 	for id, t := range texts {
@@ -61,8 +69,11 @@ func New(texts [][]byte) *Index {
 		ix.seq = append(ix.seq, int32(id)) // terminator
 		ix.textOf = append(ix.textOf, int32(id))
 	}
-	ix.sa = sais.Compute(ix.seq, ix.d+len(ix.vocab))
-	return ix
+	var err error
+	if ix.sa, err = sais.Compute(ix.seq, ix.d+len(ix.vocab)); err != nil {
+		return nil, fmt.Errorf("wordindex: %w", err)
+	}
+	return ix, nil
 }
 
 // NumWords returns the total token count (including terminators).

@@ -1,8 +1,10 @@
 package wordindex
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"repro/internal/sais"
 	"strings"
 	"testing"
 )
@@ -69,7 +71,7 @@ func TestPhraseSearch(t *testing.T) {
 		"a dark horse appears",
 		"the dark quick brown horse",
 	}
-	ix := New(toBytes(texts))
+	ix := mustNew(t, toBytes(texts))
 	for _, phrase := range []string{
 		"quick brown", "the", "dark horse", "dog", "horse", "brown fox",
 		"quick brown fox", "nothere", "fox the", "sleeps",
@@ -89,7 +91,7 @@ func TestPhraseSearch(t *testing.T) {
 
 func TestCountOccurrences(t *testing.T) {
 	texts := []string{"a b a b a", "b a b"}
-	ix := New(toBytes(texts))
+	ix := mustNew(t, toBytes(texts))
 	if got := ix.CountOccurrences("a b"); got != 3 {
 		t.Fatalf("count(a b)=%d", got)
 	}
@@ -106,11 +108,11 @@ func TestCountOccurrences(t *testing.T) {
 }
 
 func TestEmptyAndUnknown(t *testing.T) {
-	ix := New(nil)
+	ix := mustNew(t, nil)
 	if ix.ContainsPhrase("x") != nil {
 		t.Fatal("empty index")
 	}
-	ix2 := New(toBytes([]string{"hello"}))
+	ix2 := mustNew(t, toBytes([]string{"hello"}))
 	if ix2.ContainsPhrase("unknownword") != nil {
 		t.Fatal("unknown word")
 	}
@@ -132,7 +134,7 @@ func TestRandomizedAgainstNaive(t *testing.T) {
 			}
 			texts = append(texts, strings.Join(ws, " "))
 		}
-		ix := New(toBytes(texts))
+		ix := mustNew(t, toBytes(texts))
 		for k := 0; k < 10; k++ {
 			plen := 1 + r.Intn(3)
 			var pw []string
@@ -146,5 +148,27 @@ func TestRandomizedAgainstNaive(t *testing.T) {
 				t.Fatalf("phrase %q: got %v want %v (texts=%v)", phrase, got, want, texts)
 			}
 		}
+	}
+}
+
+func mustNew(t *testing.T, texts [][]byte) *Index {
+	t.Helper()
+	ix, err := New(texts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestErrTooLarge would need a 2^31-token collection to trip the guard end
+// to end; the boundary itself is pinned in package sais (CheckSize), and
+// this test pins that the wordindex entry point routes through it and that
+// the typed error is recognizable under errors.Is through the wrap.
+func TestErrTooLargeAlias(t *testing.T) {
+	if !errors.Is(fmt.Errorf("wordindex: %w", sais.ErrTooLarge), ErrTooLarge) {
+		t.Fatal("wrapped sais.ErrTooLarge must match wordindex.ErrTooLarge")
+	}
+	if ErrTooLarge != sais.ErrTooLarge {
+		t.Fatal("ErrTooLarge must alias sais.ErrTooLarge")
 	}
 }

@@ -8,6 +8,7 @@
 package xmlparse
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -41,15 +42,49 @@ type parser struct {
 	data []byte
 	pos  int
 	h    Handler
+	// cancellation: ctx is polled every pollStride loop iterations of run
+	// (nil = never). Each iteration consumes at least one byte, so the poll
+	// interval is bounded by pollStride bytes of input.
+	ctx      context.Context
+	pollLeft int
 	// reusable buffers
 	textBuf []byte
 	stack   []string
 }
 
+// pollStride is the number of markup/text items parsed between context
+// polls: cheap enough to be invisible, frequent enough that cancelling a
+// multi-gigabyte parse takes effect within a few thousand events.
+const pollStride = 2048
+
 // Parse parses the document and streams events to h.
 func Parse(data []byte, h Handler) error {
-	p := &parser{data: data, h: h}
+	return ParseCtx(context.Background(), data, h)
+}
+
+// ParseCtx is Parse with cancellation: the event loop polls ctx at bounded
+// intervals and returns its error once it is done, mirroring the query-side
+// polling contract (a build driving a cancelled context stops within one
+// polling interval, not at end of input).
+func ParseCtx(ctx context.Context, data []byte, h Handler) error {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancellable: skip the Err calls entirely
+	}
+	p := &parser{data: data, h: h, ctx: ctx, pollLeft: pollStride}
 	return p.run()
+}
+
+// poll checks the context once per pollStride calls.
+func (p *parser) poll() error {
+	p.pollLeft--
+	if p.pollLeft > 0 {
+		return nil
+	}
+	p.pollLeft = pollStride
+	if p.ctx == nil {
+		return nil
+	}
+	return p.ctx.Err()
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -59,6 +94,9 @@ func (p *parser) errf(format string, args ...any) error {
 func (p *parser) run() error {
 	sawRoot := false
 	for p.pos < len(p.data) {
+		if err := p.poll(); err != nil {
+			return err
+		}
 		if p.data[p.pos] == '<' {
 			if err := p.markup(&sawRoot); err != nil {
 				return err

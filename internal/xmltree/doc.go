@@ -8,6 +8,7 @@ package xmltree
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -165,50 +166,89 @@ type Options struct {
 	Builder fmindex.SequenceBuilder
 }
 
-// builder accumulates the model during the parse.
-type builder struct {
-	doc    *Doc
-	opts   Options
-	parens []bool
-	tagIDs []int32
-	texts  [][]byte
-	leaves []int // paren positions of text leaves
+// Raw is the stage-1 parse product of the staged build pipeline (package
+// build): the event stream of one document flattened into plain arrays,
+// before any succinct structure exists. It decouples parsing from assembly
+// so the structural side (BP, tags, leaf bitmap, planner tables) and the
+// text side (FM-index) can be built concurrently from one parse.
+type Raw struct {
+	Names  []string         // label table; reserved labels occupy ids 0..3
+	NameID map[string]int32 // inverse of Names
+	Parens []bool           // the parentheses sequence (true = open)
+	TagIDs []int32          // 2*tag for an opening paren, 2*tag+1 for a closing
+	Leaves []int            // paren positions of text leaves, ascending
+	Texts  [][]byte         // the text collection, in leaf order
 }
 
-// Parse indexes an XML document held in memory.
+// builder accumulates the model during the parse.
+type builder struct {
+	raw  *Raw
+	opts Options
+}
+
+// Parse indexes an XML document held in memory. It is the serial
+// convenience path: ParseRaw, AssembleStructure and the FM-index build run
+// back to back on the calling goroutine. Package build runs the same stages
+// concurrently and memory-bounded; both produce identical documents.
 func Parse(data []byte, opts Options) (*Doc, error) {
-	d := &Doc{nameID: map[string]int32{}}
-	b := &builder{doc: d, opts: opts}
+	raw, err := ParseRaw(context.Background(), data)
+	if err != nil {
+		return nil, err
+	}
+	d, err := AssembleStructure(context.Background(), raw, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipFM {
+		fm, err := fmindex.New(raw.Texts, fmindex.Options{
+			SampleRate: opts.SampleRate,
+			Builder:    opts.Builder,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.SetFM(fm)
+	}
+	return d, nil
+}
+
+// ParseRaw runs the SAX parse and returns the flattened document arrays.
+// Cancellation is polled inside the parser's event loop at bounded
+// intervals; a failed or cancelled parse leaves no partially built state
+// behind (the raw product is local until returned).
+func ParseRaw(ctx context.Context, data []byte) (*Raw, error) {
+	raw := &Raw{NameID: map[string]int32{}}
+	b := &builder{raw: raw}
 	// Pre-intern the reserved labels so their ids are stable and small.
 	for _, s := range []string{RootLabel, TextLabel, AttrsLabel, AttrValLabel} {
 		b.intern(s)
 	}
-	b.open(d.nameID[RootLabel])
-	if err := xmlparse.Parse(data, b); err != nil {
+	b.open(raw.NameID[RootLabel])
+	if err := xmlparse.ParseCtx(ctx, data, b); err != nil {
 		return nil, err
 	}
-	b.close(d.nameID[RootLabel])
-	return b.finish()
+	b.close(raw.NameID[RootLabel])
+	return raw, nil
 }
 
 func (b *builder) intern(name string) int32 {
-	if id, ok := b.doc.nameID[name]; ok {
+	if id, ok := b.raw.NameID[name]; ok {
 		return id
 	}
-	id := int32(len(b.doc.names))
-	b.doc.names = append(b.doc.names, name)
-	b.doc.nameID[name] = id
+	id := int32(len(b.raw.Names))
+	b.raw.Names = append(b.raw.Names, name)
+	b.raw.NameID[name] = id
 	return id
 }
 
 func (b *builder) open(tag int32) {
-	b.parens = append(b.parens, true)
-	b.tagIDs = append(b.tagIDs, 2*tag)
+	b.raw.Parens = append(b.raw.Parens, true)
+	b.raw.TagIDs = append(b.raw.TagIDs, 2*tag)
 }
 
 func (b *builder) close(tag int32) {
-	b.parens = append(b.parens, false)
-	b.tagIDs = append(b.tagIDs, 2*tag+1)
+	b.raw.Parens = append(b.raw.Parens, false)
+	b.raw.TagIDs = append(b.raw.TagIDs, 2*tag+1)
 }
 
 // The Handler interface (xmlparse events):
@@ -217,12 +257,12 @@ func (b *builder) StartElement(name string, attrs []xmlparse.Attr) error {
 	tag := b.intern(name)
 	b.open(tag)
 	if len(attrs) > 0 {
-		at := b.doc.nameID[AttrsLabel]
+		at := b.raw.NameID[AttrsLabel]
 		b.open(at)
 		for _, a := range attrs {
 			atag := b.intern(a.Name)
 			b.open(atag)
-			b.textLeaf(b.doc.nameID[AttrValLabel], []byte(a.Value))
+			b.textLeaf(b.raw.NameID[AttrValLabel], []byte(a.Value))
 			b.close(atag)
 		}
 		b.close(at)
@@ -231,7 +271,7 @@ func (b *builder) StartElement(name string, attrs []xmlparse.Attr) error {
 }
 
 func (b *builder) EndElement(name string) error {
-	b.close(b.doc.nameID[name])
+	b.close(b.raw.NameID[name])
 	return nil
 }
 
@@ -242,58 +282,86 @@ func (b *builder) Text(data []byte) error {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	b.textLeaf(b.doc.nameID[TextLabel], cp)
+	b.textLeaf(b.raw.NameID[TextLabel], cp)
 	return nil
 }
 
 // textLeaf adds a leaf node carrying one text.
 func (b *builder) textLeaf(tag int32, text []byte) {
-	b.leaves = append(b.leaves, len(b.parens))
+	b.raw.Leaves = append(b.raw.Leaves, len(b.raw.Parens))
 	b.open(tag)
 	b.close(tag)
-	b.texts = append(b.texts, text)
+	b.raw.Texts = append(b.raw.Texts, text)
 }
 
-func (b *builder) finish() (*Doc, error) {
-	d := b.doc
+// AssembleStructure builds the structural side of the document from a
+// stage-1 parse product: balanced parentheses, tag sequence, leaf bitmap,
+// the plain-text store (unless opts.SkipPlain) and the derived per-tag
+// planner tables. The FM-index is NOT built here — attach one with SetFM,
+// or leave it absent for tree-only workloads. Cancellation is polled
+// between the component constructors and inside the tag-table traversal;
+// on error the partially assembled document is dropped, never returned.
+func AssembleStructure(ctx context.Context, raw *Raw, opts Options) (*Doc, error) {
+	d := &Doc{names: raw.Names, nameID: raw.NameID}
 	nTags := len(d.names)
 
-	d.Par = bp.NewFromBools(b.parens)
-	d.Tag = tags.Build(b.tagIDs, 2*nTags)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	d.Par = bp.NewFromBools(raw.Parens)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	d.Tag = tags.Build(raw.TagIDs, 2*nTags)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
-	lb := bitvec.New(len(b.parens))
-	for _, p := range b.leaves {
+	lb := bitvec.New(len(raw.Parens))
+	for _, p := range raw.Leaves {
 		lb.Set(p)
 	}
 	lb.Build()
 	d.leafB = lb
-	d.nText = len(b.texts)
+	d.nText = len(raw.Texts)
 
-	if !b.opts.SkipPlain {
-		d.Plain = NewTextStoreParts(b.texts)
+	if !opts.SkipPlain {
+		d.Plain = NewTextStoreParts(raw.Texts)
 	}
-	if !b.opts.SkipFM {
-		fm, err := fmindex.New(b.texts, fmindex.Options{
-			SampleRate: b.opts.SampleRate,
-			Builder:    b.opts.Builder,
-		})
-		if err != nil {
-			return nil, err
-		}
-		d.FM = fm
+	if err := d.buildTagTablesCtx(ctx); err != nil {
+		return nil, err
 	}
-
-	d.buildTagTables()
 	return d, nil
 }
+
+// SetFM attaches a text self-index built externally (the staged pipeline
+// builds it concurrently with the structure). The index must cover exactly
+// this document's text collection, in leaf order.
+func (d *Doc) SetFM(fm *fmindex.Index) { d.FM = fm }
+
+// ctxErr is the bounded-interval cancellation check shared by the assembly
+// stages; a nil context never fails.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// tablePollStride is how many parenthesis positions the tag-table traversal
+// visits between context polls.
+const tablePollStride = 1 << 16
 
 // RebuildTagTables recomputes the derived per-tag tables; exposed so the
 // benchmark harness can time this construction component (Table IV).
 func (d *Doc) RebuildTagTables() { d.buildTagTables() }
 
-// buildTagTables computes pureText, tag counts, and the four relative tag
-// position tables by one traversal of the built structure.
-func (d *Doc) buildTagTables() {
+func (d *Doc) buildTagTables() { d.buildTagTablesCtx(context.Background()) }
+
+// buildTagTablesCtx computes pureText, tag counts, and the four relative tag
+// position tables by one traversal of the built structure, polling ctx
+// every tablePollStride positions.
+func (d *Doc) buildTagTablesCtx(ctx context.Context) error {
 	nTags := len(d.names)
 	d.tagCount = make([]int32, nTags)
 	d.pureText = make([]bool, nTags)
@@ -328,7 +396,15 @@ func (d *Doc) buildTagTables() {
 	}
 	var stack []tframe
 	n := d.Par.Len()
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // uncancellable: skip the polls
+	}
 	for p := 0; p < n; p++ {
+		if ctx != nil && p%tablePollStride == tablePollStride-1 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if d.Par.IsOpen(p) {
 			tag := d.Tag.Access(p) / 2
 			d.tagCount[tag]++
@@ -394,6 +470,7 @@ func (d *Doc) buildTagTables() {
 			}
 		}
 	}
+	return nil
 }
 
 // --- Names and tags ---

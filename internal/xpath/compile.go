@@ -210,9 +210,11 @@ func (c *compiler) compile(path *Path) (*automata.Automaton, error) {
 // the complement of the match guard, and a node matching the test takes
 // either the filter-true transition (which continues the query but does not
 // re-descend into territory the next state already covers) or the
-// filter-false transition (which behaves like the loop). The one inexact
-// combination - a following-sibling step after a descendant step - is
-// flagged so counting falls back to materialization with set semantics.
+// filter-false transition (which behaves like the loop). The inexact
+// combinations — a following-sibling step after a descendant step, and a
+// descendant step whose child-continuation is later followed by another
+// descendant step — are flagged so counting falls back to materialization
+// with set semantics.
 //
 // Existence paths inside predicates only need truth, so they keep the
 // simpler overlapping construction with disjunctive (descendant) or
@@ -313,6 +315,18 @@ func (c *compiler) compileSteps(steps []*Step, marking bool, lastExtra *automata
 				// its unique parent's spawn, so recursing below nested
 				// matches stays disjoint — and is required for coverage.
 				selfCont = c.f.And(c.f.Down1(q), c.f.Down2(q))
+				// Disjointness holds only while the remaining steps fix the
+				// result's depth relative to the spawn (child/sibling axes).
+				// A later descendant step can reach the same result from
+				// child-spawns at several nesting depths of this state's
+				// matches (e.g. //a/b//c with nested a), so the counters
+				// overlap exactly like the following-sibling case above.
+				for k := i + 2; k < len(steps); k++ {
+					if steps[k].Axis == AxisDescendant {
+						c.mayOvercount = true
+						break
+					}
+				}
 			}
 		case AxisChild, AxisFollowingSibling:
 			if contFollSib {
