@@ -1,3 +1,9 @@
 module repro
 
 go 1.24
+
+// The repo-specific analyzer suite (internal/lint, run by CI as
+// `go vet -vettool`). Pinned as a module tool so `go tool sxsivet`
+// builds it from the tree itself — there is no external version to
+// drift from.
+tool repro/cmd/sxsivet

@@ -72,11 +72,11 @@ type Collection struct {
 	cfg Config
 
 	mu      sync.RWMutex
-	docs    map[string]*core.Engine
-	sources map[string]docSource // docs that came from files, for Reload
+	docs    map[string]*core.Engine // guarded by mu
+	sources map[string]docSource    // guarded by mu; docs that came from files, for Reload
 
 	cacheMu sync.Mutex
-	cache   *lru // nil when caching is disabled
+	cache   *lru // guarded by cacheMu; nil when caching is disabled
 
 	met metrics
 }

@@ -122,6 +122,11 @@ func NewCtx(ctx context.Context, texts [][]byte, opts Options) (*Index, error) {
 	starts := make([]int, d)
 	idx.lens = make([]int32, d)
 	for i, t := range texts {
+		if i&0xfff == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		starts[i] = len(s)
 		idx.lens[i] = int32(len(t))
 		for _, ch := range t {
@@ -144,6 +149,11 @@ func NewCtx(ctx context.Context, texts [][]byte, opts Options) (*Index, error) {
 	sampled := bitvec.New(n)
 	var psTmp []int32
 	for i, p := range sa {
+		if i&(mergePollStride-1) == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		var prev int32
 		if p == 0 {
 			prev = s[n-1]
@@ -170,7 +180,12 @@ func NewCtx(ctx context.Context, texts [][]byte, opts Options) (*Index, error) {
 	// increasing row order already.
 	idx.ps = psTmp
 
-	for _, b := range bwt {
+	for i, b := range bwt {
+		if i&(mergePollStride-1) == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		idx.c[int(b)+1]++
 	}
 	for i := 1; i <= 256; i++ {

@@ -129,6 +129,11 @@ func NewParallel(ctx context.Context, texts [][]byte, opts Options, bo BuildOpti
 	idx.lens = make([]int32, d)
 	pos := 0
 	for i, t := range texts {
+		if i&0xfff == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		starts[i] = pos
 		idx.lens[i] = int32(len(t))
 		pos += len(t) + 1
@@ -152,6 +157,7 @@ func NewParallel(ctx context.Context, texts [][]byte, opts Options, bo BuildOpti
 	}
 	// Free the chunk suffix arrays (and spill files) before the wavelet
 	// build doubles down on allocation.
+	//sxsivet:ignore ctxpoll chunks is capped at maxChunks (512) by planBuild, O(1) body
 	for _, c := range chunks {
 		c.rows = nil
 	}
@@ -163,6 +169,9 @@ func NewParallel(ctx context.Context, texts [][]byte, opts Options, bo BuildOpti
 	// the text byte histogram plus one collapsed 0 per terminator.
 	sampled := bitvec.New(n)
 	for _, o := range outs {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		idx.doc = append(idx.doc, o.doc...)
 		for _, s := range o.samples {
 			sampled.Set(int(s.row))
@@ -172,6 +181,7 @@ func NewParallel(ctx context.Context, texts [][]byte, opts Options, bo BuildOpti
 	sampled.Build()
 	idx.bs = sampled
 	idx.c[1] = d
+	//sxsivet:ignore ctxpoll at most maxChunks (512) iterations of a 256-entry histogram add
 	for _, c := range chunks {
 		for b, cnt := range c.hist {
 			idx.c[b+1] += int(cnt)
@@ -278,6 +288,9 @@ func sortChunks(ctx context.Context, texts [][]byte, starts []int, plan *buildPl
 	var chunks []*chunkSA
 	d := len(texts)
 	for tlo := 0; tlo < d; {
+		if err := ctxErr(ctx); err != nil {
+			return nil, func() {}, err
+		}
 		thi, syms := tlo, 0
 		for thi < d && (syms == 0 || syms+len(texts[thi])+1 <= plan.chunkSyms) {
 			syms += len(texts[thi]) + 1
@@ -288,6 +301,7 @@ func sortChunks(ctx context.Context, texts [][]byte, starts []int, plan *buildPl
 	}
 	plan.nChunks = len(chunks)
 	cleanup := func() {
+		//sxsivet:ignore ctxpoll cleanup over at most maxChunks (512) spill files; must run even when ctx is dead
 		for _, c := range chunks {
 			if c.f != nil {
 				name := c.f.Name()
@@ -336,11 +350,21 @@ func sortChunks(ctx context.Context, texts [][]byte, starts []int, plan *buildPl
 func sortOneChunk(ctx context.Context, texts [][]byte, c *chunkSA, plan *buildPlan) error {
 	m := c.thi - c.tlo
 	syms := 0
-	for _, t := range texts[c.tlo:c.thi] {
+	for i, t := range texts[c.tlo:c.thi] {
+		if i&0xfff == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+		}
 		syms += len(t) + 1
 	}
 	s := make([]int32, 0, syms)
 	for i, t := range texts[c.tlo:c.thi] {
+		if i&0xfff == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+		}
 		for _, ch := range t {
 			if ch == 0 {
 				return ErrNulByte
@@ -367,6 +391,11 @@ func sortOneChunk(ctx context.Context, texts [][]byte, c *chunkSA, plan *buildPl
 	// Drop the terminator rows and globalize the rest in place.
 	rows := sa[m:]
 	for i, p := range rows {
+		if i&(mergePollStride-1) == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+		}
 		rows[i] = int32(c.gstart) + p
 	}
 	if !plan.spill {
@@ -379,7 +408,14 @@ func sortOneChunk(ctx context.Context, texts [][]byte, c *chunkSA, plan *buildPl
 	}
 	w := bufio.NewWriterSize(f, spillBufBytes)
 	var le [4]byte
-	for _, p := range rows {
+	for i, p := range rows {
+		if i&(mergePollStride-1) == 0 {
+			if err := ctxErr(ctx); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return err
+			}
+		}
 		binary.LittleEndian.PutUint32(le[:], uint32(p))
 		if _, err := w.Write(le[:]); err != nil {
 			f.Close()
@@ -442,6 +478,11 @@ func mergeChunks(ctx context.Context, texts [][]byte, starts []int, chunks []*ch
 	// contributes the doc entry of the text starting at that position.
 	var termOut segOut
 	for t := 0; t < d; t++ {
+		if t&0xfff == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		p := starts[t] + len(texts[t])
 		if len(texts[t]) > 0 {
 			bwt[t] = texts[t][len(texts[t])-1]
@@ -505,6 +546,7 @@ func mergeChunks(ctx context.Context, texts [][]byte, starts []int, chunks []*ch
 	// Merge the segments concurrently, largest first so a big segment is
 	// not left running alone at the tail.
 	order := make([]int, len(refined))
+	//sxsivet:ignore ctxpoll O(1)-body init over segment count; the adjacent sort.Slice cannot poll and dominates it
 	for i := range order {
 		order[i] = i
 	}
@@ -687,6 +729,7 @@ func mergeOneSeg(ctx context.Context, sg *mergeSeg, texts [][]byte, starts []int
 		ctx = nil
 	}
 	var curs []*cursor
+	//sxsivet:ignore ctxpoll cursor setup over at most maxChunks (512) chunks, one buffered open each
 	for ci, c := range chunks {
 		lo, hi := sg.ranges[ci][0], sg.ranges[ci][1]
 		if lo >= hi {

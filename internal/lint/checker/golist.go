@@ -1,0 +1,120 @@
+package checker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"repro/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *struct{ GoVersion string }
+	Error      *struct{ Err string }
+}
+
+// Standalone analyzes the packages matching the given go-list patterns
+// (`sxsivet ./...`), without the vet harness: one `go list -export
+// -deps -json` run yields export data for every dependency and the file
+// lists of the targets, and each target is then type-checked and
+// analyzed exactly as in vet mode. Returns a process exit code (0
+// clean, 1 operational failure, 2 diagnostics).
+func Standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sxsivet: %v\n", err)
+		return 1
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	exit := 0
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "sxsivet: %s: %s\n", p.ImportPath, p.Error.Err)
+			exit = max(exit, 1)
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = p.Dir + string(os.PathSeparator) + f
+		}
+		goVersion := ""
+		if p.Module != nil {
+			goVersion = p.Module.GoVersion
+		}
+		findings, err := Analyze(Target{
+			ImportPath: p.ImportPath,
+			GoFiles:    files,
+			Exports:    exports,
+			GoVersion:  goVersion,
+		}, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sxsivet: %s: %v\n", p.ImportPath, err)
+			exit = max(exit, 1)
+			continue
+		}
+		exit = max(exit, printFindings(findings))
+	}
+	return exit
+}
+
+// ExportData resolves export-data files for the given import paths and
+// all their dependencies via one `go list -export -deps` run (so it must
+// execute inside the module). The analysistest harness uses it to
+// typecheck fixture packages against the real packages they import.
+func ExportData(paths ...string) (map[string]string, error) {
+	pkgs, err := goList(paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,75 @@
+package checker
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Suppression syntax:
+//
+//	//sxsivet:ignore <analyzer> <reason>
+//
+// The comment suppresses diagnostics from <analyzer> on its own line
+// (trailing comment) and on the line immediately below it (a standalone
+// comment above the flagged statement). The reason is mandatory — an
+// ignore without one is itself reported — so every suppression in the
+// tree records why the contract does not apply.
+
+const ignorePrefix = "//sxsivet:ignore"
+
+// suppressed records, per file and line, which analyzers are ignored.
+type suppressed map[string]map[int]map[string]bool
+
+func (s suppressed) covers(pos token.Position, analyzer string) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][analyzer] || byLine[pos.Line][ignoreAll]
+}
+
+// ignoreAll is the analyzer name that silences every check on a line.
+const ignoreAll = "all"
+
+// suppressions scans the comments of files for ignore directives,
+// returning the suppression table and a diagnostic for each malformed
+// directive (missing analyzer or missing reason).
+func suppressions(fset *token.FileSet, files []*ast.File) (suppressed, []analysis.Diagnostic) {
+	sup := suppressed{}
+	var bad []analysis.Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, analysis.Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "sxsivet",
+						Message:  "malformed suppression: want //sxsivet:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sup[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = map[string]bool{}
+					}
+					byLine[line][fields[0]] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}

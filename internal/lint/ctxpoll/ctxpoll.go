@@ -1,0 +1,302 @@
+// Package ctxpoll enforces the cancellation contract on the
+// document-scale packages (xpath, sais, fmindex, build, xmlparse): a
+// function that receives a context.Context must actually use it, and
+// every top-level loop in such a function must poll cancellation at a
+// bounded interval — directly (ctx.Err(), ctx.Done(), passing ctx to a
+// callee), through a named poll helper (poll, tick, ctxErr, pollCtx,
+// checkCtx), or by delegating to a value that carries a context (a
+// struct with a context.Context field, like the sais poller or the
+// xmlparse parser).
+//
+// Loops with a small constant trip count (≤ 1024 iterations, or ranging
+// over a fixed-size array) are exempt: they are bounded by construction,
+// not document-scale. Nested loops are the enclosing loop's
+// responsibility — the outer loop's poll bounds the interval.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "require context-taking functions in document-scale packages to use their context and to poll it in every top-level loop",
+	Match: analysis.PathIn(
+		"repro/internal/xpath",
+		"repro/internal/sais",
+		"repro/internal/fmindex",
+		"repro/internal/build",
+		"repro/internal/xmlparse",
+	),
+	Run: run,
+}
+
+// maxConstTrip is the largest constant loop bound considered trivially
+// bounded. Matches the smallest polling stride used in the tree (64), a
+// few times over: anything at or under this finishes long before a
+// polling interval would have elapsed.
+const maxConstTrip = 1024
+
+// pollName reports whether a callee name counts as a cancellation poll
+// helper: the tree's idioms are poll/checkPoll/pollCtx (xmlparse, the
+// fmindex merge), tick (the sais poller) and ctxErr/checkCtx wrappers.
+func pollName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "poll") || lower == "tick" || lower == "ctxerr" || lower == "checkctx"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var ctxParams []*types.Var
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := info.Defs[name].(*types.Var)
+			if ok && name.Name != "_" && isContext(obj.Type()) {
+				ctxParams = append(ctxParams, obj)
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	used := map[*types.Var]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				for _, p := range ctxParams {
+					if v == p {
+						used[p] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, p := range ctxParams {
+		if !used[p] {
+			pass.Reportf(fn.Name.Pos(), "context parameter %s is dropped: cancellation does not propagate through %s", p.Name(), fn.Name.Name)
+		}
+	}
+	checkLoops(pass, fn.Body, ctxDerived(info, fn.Body))
+}
+
+// ctxDerived collects the local variables assigned from calls that took
+// a context argument: iterators, pollers and evaluators constructed from
+// ctx poll internally, so method calls on them delegate cancellation
+// even when their static type (often an interface) hides the field.
+func ctxDerived(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		hasCtx := false
+		for _, a := range call.Args {
+			if tv, ok := info.Types[a]; ok && isContext(tv.Type) {
+				hasCtx = true
+			}
+		}
+		if !hasCtx {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					derived[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					derived[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return derived
+}
+
+// checkLoops reports top-level loops (not nested in another loop of the
+// same function) whose bodies neither touch a context nor call a poll
+// helper nor delegate to a context-carrying value.
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt, derived map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// scope collects the loop parts that re-execute every iteration:
+		// condition and post clause poll just as well as the body does
+		// (`for it.next() { ... }` with a ctx-carrying iterator).
+		var scope []ast.Node
+		var pos token.Pos
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			if constTrip(pass.TypesInfo, l) {
+				return false // bounded by construction; skip inner loops too
+			}
+			scope, pos = []ast.Node{l.Body}, l.Pos()
+			if l.Cond != nil {
+				scope = append(scope, l.Cond)
+			}
+			if l.Post != nil {
+				scope = append(scope, l.Post)
+			}
+		case *ast.RangeStmt:
+			if rangeBounded(pass.TypesInfo, l) {
+				return false
+			}
+			// The range expression evaluates once, so only the body counts.
+			scope, pos = []ast.Node{l.Body}, l.Pos()
+		default:
+			return true
+		}
+		polled := false
+		for _, s := range scope {
+			if polls(pass.TypesInfo, s, derived) {
+				polled = true
+				break
+			}
+		}
+		if !polled {
+			pass.Reportf(pos, "loop does not poll its context: document-scale loops must check cancellation at a bounded interval (ctx.Err, a poll helper, or a ctx-carrying callee)")
+		}
+		return false // nested loops are the outer loop's responsibility
+	})
+}
+
+// polls reports whether the statement tree references a context value,
+// calls a poll-named helper, or calls into a context-carrying (or
+// ctx-derived) value.
+func polls(info *types.Info, body ast.Node, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && isContext(v.Type()) {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if pollName(fun.Sel.Name) {
+					found = true
+				}
+				if tv, ok := info.Types[fun.X]; ok && carriesContext(tv.Type) {
+					found = true
+				}
+				if id, ok := fun.X.(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil && derived[obj] {
+						found = true
+					}
+				}
+			case *ast.Ident:
+				if pollName(fun.Name) {
+					found = true
+				}
+				if obj := info.Uses[fun]; obj != nil && derived[obj] {
+					found = true // calling a closure built from ctx
+				}
+			}
+			for _, a := range n.Args {
+				if tv, ok := info.Types[a]; ok && carriesContext(tv.Type) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// carriesContext reports whether t is (a pointer to) a context, or a
+// struct with a context.Context field: calling into such a value
+// delegates cancellation (poller, parser, evaluator objects).
+func carriesContext(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if isContext(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContext(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// constTrip reports whether the for loop has a constant trip count of at
+// most maxConstTrip: `for i := lit; i < N; i++` with N constant.
+func constTrip(info *types.Info, l *ast.ForStmt) bool {
+	if l.Cond == nil {
+		return false
+	}
+	cmp, ok := l.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	for _, side := range []ast.Expr{cmp.X, cmp.Y} {
+		if tv, ok := info.Types[side]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			if v, exact := constant.Int64Val(tv.Value); exact && v >= -maxConstTrip && v <= maxConstTrip {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rangeBounded reports whether the range statement iterates a fixed-size
+// array (or pointer to one) of at most maxConstTrip elements, or a small
+// constant integer.
+func rangeBounded(info *types.Info, l *ast.RangeStmt) bool {
+	tv, ok := info.Types[l.X]
+	if !ok {
+		return false
+	}
+	if tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact && v <= maxConstTrip {
+			return true
+		}
+	}
+	t := tv.Type.Underlying()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem().Underlying()
+	}
+	arr, ok := t.(*types.Array)
+	return ok && arr.Len() <= maxConstTrip
+}

@@ -1,0 +1,115 @@
+// Package errcorrupt enforces the typed-corruption contract on the
+// structure packages: every Load/Read/Open/decode path must surface bad
+// input as an error wrapping persist.ErrCorrupt — never as a panic, and
+// never as an anonymous error that callers cannot classify. Collection
+// and service code rely on errors.Is(err, persist.ErrCorrupt) to keep a
+// corrupt file from being mistaken for an operational failure.
+//
+// Inside a load-path function the analyzer flags:
+//   - panic(...) — corrupt input must not take the process down;
+//   - errors.New(...) — unclassifiable;
+//   - fmt.Errorf with a format string that wraps nothing (no %w) — the
+//     chain to ErrCorrupt is broken at this frame.
+//
+// fmt.Errorf("...: %w", err) is accepted: decode errors propagate
+// wrapped, and the frame that created them is the one that attached
+// ErrCorrupt.
+package errcorrupt
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errcorrupt",
+	Doc:  "require load paths in structure packages to wrap decode failures in persist.ErrCorrupt and never panic on input data",
+	Match: analysis.PathIn(
+		"repro/internal/persist",
+		"repro/internal/bitvec",
+		"repro/internal/bp",
+		"repro/internal/wavelet",
+		"repro/internal/fmindex",
+		"repro/internal/wordindex",
+		"repro/internal/xmltree",
+		"repro/internal/rlfm",
+		"repro/internal/pssm",
+		"repro/internal/core",
+	),
+	Run: run,
+}
+
+// loadPrefixes mark the functions that decode untrusted input.
+var loadPrefixes = []string{"Load", "Read", "Open", "load", "read", "open", "decode", "Decode"}
+
+func isLoadPath(name string) bool {
+	for _, p := range loadPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isLoadPath(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch callee(pass.TypesInfo, call) {
+				case "panic":
+					pass.Reportf(call.Pos(), "panic in load path %s: corrupt input must surface as an error wrapping persist.ErrCorrupt, not a panic", fn.Name.Name)
+				case "errors.New":
+					pass.Reportf(call.Pos(), "errors.New in load path %s: decode failures must wrap persist.ErrCorrupt (%%w) so callers can classify them", fn.Name.Name)
+				case "fmt.Errorf":
+					if format, ok := constFormat(pass.TypesInfo, call); ok && !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w in load path %s: the error chain to persist.ErrCorrupt is broken at this frame", fn.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// callee names the called function: "panic" for the builtin,
+// "pkg.Func" for package-level functions, "" otherwise.
+func callee(info *types.Info, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			return b.Name()
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// constFormat extracts a constant format-string first argument.
+func constFormat(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,207 @@
+// Package guardedby mechanizes the lock-annotation convention: a struct
+// field whose declaration carries a `// guarded by <mu>` comment (where
+// <mu> is a sibling sync.Mutex or sync.RWMutex field) may only be
+// accessed in functions that visibly acquire that mutex — a
+// `<base>.<mu>.Lock()` / `RLock()` / `TryLock()` call on the same base
+// expression — or in functions that construct the value (the enclosing
+// function contains a composite literal of the struct type, or is a
+// New* constructor), where the value is not yet shared.
+//
+// The check is function-local and package-scoped: it cannot see a lock
+// taken by a caller. Accesses on a deliberately lock-free path (e.g.
+// reading a counter for a log line) document themselves with
+// //sxsivet:ignore guardedby <reason>.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "check that fields annotated `// guarded by <mu>` are only accessed with that mutex visibly held",
+	Run:  run,
+}
+
+var annotationRE = regexp.MustCompile(`guarded by (\w+)`)
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+
+// guard records one annotated field and the mutex field guarding it.
+type guard struct {
+	structType *types.Named
+	mutexName  string
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds annotated fields, validating that the named mutex
+// is a sibling field of a sync mutex type.
+func collectGuards(pass *analysis.Pass) map[*types.Var]guard {
+	guards := map[*types.Var]guard{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			def := pass.TypesInfo.Defs[ts.Name]
+			if def == nil {
+				return true
+			}
+			named, _ := def.Type().(*types.Named)
+			for _, field := range st.Fields.List {
+				mu := annotatedMutex(field)
+				if mu == "" {
+					continue
+				}
+				if !hasMutexField(st, pass, mu) {
+					pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a sibling sync.Mutex/RWMutex field", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && named != nil {
+						guards[v] = guard{structType: named, mutexName: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func annotatedMutex(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := annotationRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func hasMutexField(st *ast.StructType, pass *analysis.Pass, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name == name {
+				t := pass.TypesInfo.TypeOf(field.Type)
+				if ptr, ok := t.(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				named, ok := t.(*types.Named)
+				if !ok || named.Obj().Pkg() == nil {
+					return false
+				}
+				return named.Obj().Pkg().Path() == "sync" &&
+					(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+			}
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guards map[*types.Var]guard) {
+	info := pass.TypesInfo
+	// locked maps "base.mutex" strings for every acquire in the function.
+	locked := map[string]bool{}
+	constructs := map[*types.Named]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !lockMethods[sel.Sel.Name] {
+				return true
+			}
+			if muSel, ok := sel.X.(*ast.SelectorExpr); ok {
+				locked[exprString(muSel.X)+"."+muSel.Sel.Name] = true
+			} else if id, ok := sel.X.(*ast.Ident); ok {
+				// Lock on a bare local mutex (var mu sync.Mutex).
+				locked["."+id.Name] = true
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				constructs[named] = true
+			}
+		}
+		return true
+	})
+	isConstructor := strings.HasPrefix(fn.Name.Name, "New") || strings.HasPrefix(fn.Name.Name, "new")
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guards[v]
+		if !ok {
+			return true
+		}
+		if isConstructor || constructs[g.structType] {
+			return true
+		}
+		if locked[exprString(sel.X)+"."+g.mutexName] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "field %s is guarded by %s, but %s does not acquire %s.%s", v.Name(), g.mutexName, fn.Name.Name, exprString(sel.X), g.mutexName)
+		return true
+	})
+}
+
+// exprString renders the base expression of a selector for comparison:
+// `c`, `c.inner`, `(*c).x`. Good enough to match a lock site with an
+// access site in the same function.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[]"
+	}
+	return "?"
+}

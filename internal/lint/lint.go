@@ -1,0 +1,28 @@
+// Package lint assembles the sxsivet analyzer suite: five repo-specific
+// static checks that mechanize the engine's safety contracts. Each
+// contract exists because violating it has already produced a real bug;
+// the analyzers make the next violation a CI failure instead of a
+// debugging session. See docs/ARCHITECTURE.md, "Invariants & static
+// analysis", for the contract-by-contract story and the suppression
+// syntax (//sxsivet:ignore <analyzer> <reason>).
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/boundedalloc"
+	"repro/internal/lint/ctxpoll"
+	"repro/internal/lint/errcorrupt"
+	"repro/internal/lint/guardedby"
+	"repro/internal/lint/mmapalias"
+)
+
+// Analyzers returns the full sxsivet suite in diagnostic order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		mmapalias.Analyzer,
+		ctxpoll.Analyzer,
+		boundedalloc.Analyzer,
+		errcorrupt.Analyzer,
+		guardedby.Analyzer,
+	}
+}

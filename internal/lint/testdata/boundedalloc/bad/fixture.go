@@ -1,0 +1,24 @@
+// Fixture posing as repro/internal/wordindex: it imports persist, so
+// makes sized from on-disk lengths must be bounds-checked first.
+package fixture
+
+import "repro/internal/persist"
+
+func loadVals(mr *persist.MReader) []uint32 {
+	n := mr.Int()
+	out := make([]uint32, n) // want `make sized from on-disk length n without a preceding bound check`
+	for i := range out {
+		out[i] = mr.Uint32()
+	}
+	return out
+}
+
+func loadAnon(mr *persist.MReader) []byte {
+	return make([]byte, mr.Int()) // want `make sized from on-disk length \(on-disk length\) without a preceding bound check`
+}
+
+func loadDerived(mr *persist.MReader) []uint64 {
+	n := int(mr.Uint32())
+	m := n * 2
+	return make([]uint64, m) // want `make sized from on-disk length m without a preceding bound check`
+}

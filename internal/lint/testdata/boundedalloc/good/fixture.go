@@ -1,0 +1,35 @@
+// Fixture posing as repro/internal/wordindex: every make here bounds its
+// on-disk length first, one of the accepted ways.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/persist"
+)
+
+func loadCompared(mr *persist.MReader, limit int) ([]uint32, error) {
+	n := mr.Int()
+	if n > limit {
+		return nil, fmt.Errorf("%w: implausible count %d", persist.ErrCorrupt, n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = mr.Uint32()
+	}
+	return out, nil
+}
+
+func loadClamped(mr *persist.MReader) []byte {
+	n := mr.Int()
+	buf := make([]byte, min(n, 4096)) // min against a trusted cap clamps
+	return buf
+}
+
+func loadViaChecker(mr *persist.MReader) ([]uint64, error) {
+	n := mr.Int()
+	if err := mr.Check(n <= 1<<20, "count out of range"); err != nil {
+		return nil, err
+	}
+	return make([]uint64, n), nil
+}

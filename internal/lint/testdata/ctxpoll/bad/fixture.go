@@ -1,0 +1,24 @@
+// Fixture posing as repro/internal/xpath: a document-scale package, so
+// context parameters must be used and unbounded loops must poll.
+package fixture
+
+import "context"
+
+func dropped(ctx context.Context, n int) int { // want `context parameter ctx is dropped`
+	total := 0
+	for i := 0; i < n; i++ { // want `loop does not poll its context`
+		total += i
+	}
+	return total
+}
+
+func unpolled(ctx context.Context, xs []int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, x := range xs { // want `loop does not poll its context`
+		total += x
+	}
+	return total, nil
+}

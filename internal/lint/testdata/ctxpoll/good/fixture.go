@@ -1,0 +1,61 @@
+// Fixture posing as repro/internal/xpath: every loop here satisfies the
+// polling contract one of the accepted ways.
+package fixture
+
+import "context"
+
+func strided(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for i, x := range xs {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += x
+	}
+	return total, nil
+}
+
+func constTrip(ctx context.Context) int {
+	_ = ctx.Err()
+	total := 0
+	for i := 0; i < 256; i++ { // bounded by construction: exempt
+		total += i
+	}
+	return total
+}
+
+func nested(ctx context.Context, m [][]int) int {
+	total := 0
+	for _, row := range m {
+		if ctx.Err() != nil {
+			return total
+		}
+		for _, x := range row { // nested: the outer loop's poll bounds it
+			total += x
+		}
+	}
+	return total
+}
+
+type iter struct {
+	ctx context.Context
+	i   int
+}
+
+func newIter(ctx context.Context) *iter { return &iter{ctx: ctx} }
+
+func (it *iter) next() bool {
+	it.i++
+	return it.i < 1<<20 && it.ctx.Err() == nil
+}
+
+func drain(ctx context.Context) int {
+	it := newIter(ctx)
+	n := 0
+	for it.next() { // delegates to a ctx-carrying value
+		n++
+	}
+	return n
+}

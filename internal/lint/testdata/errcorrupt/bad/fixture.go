@@ -1,0 +1,21 @@
+// Fixture posing as repro/internal/bitvec: a structure package, so its
+// load paths must classify failures as persist.ErrCorrupt.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+func LoadThing(b []byte) error {
+	if len(b) == 0 {
+		panic("empty input") // want `panic in load path LoadThing`
+	}
+	if b[0] != 1 {
+		return errors.New("bad version") // want `errors.New in load path LoadThing`
+	}
+	if len(b) < 8 {
+		return fmt.Errorf("truncated at %d bytes", len(b)) // want `fmt.Errorf without %w in load path LoadThing`
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Fixture posing as repro/internal/bitvec: load paths wrap
+// persist.ErrCorrupt; functions off the load path are unrestricted.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/persist"
+)
+
+func LoadThing(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("%w: truncated at %d bytes", persist.ErrCorrupt, len(b))
+	}
+	return nil
+}
+
+func decodeField(b []byte) (uint8, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("%w: missing field", persist.ErrCorrupt)
+	}
+	return b[0], nil
+}
+
+func format(n int) error {
+	// Not a load path: plain errors are fine here.
+	return fmt.Errorf("unrelated operational failure %d", n)
+}

@@ -1,0 +1,24 @@
+// Fixture for the guarded-by annotation check (any package path).
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu  sync.Mutex
+	n   int // guarded by mu
+	bad int /* want `annotation names "nosuchmu", which is not a sibling` */ // guarded by nosuchmu
+}
+
+func (c *counter) inc() {
+	c.n++ // want `field n is guarded by mu, but inc does not acquire c.mu`
+}
+
+func read(c *counter) int {
+	return c.n // want `field n is guarded by mu, but read does not acquire c.mu`
+}
+
+func lockOther(c, d *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.n++ // want `field n is guarded by mu, but lockOther does not acquire d.mu`
+}

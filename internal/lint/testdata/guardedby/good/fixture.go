@@ -1,0 +1,33 @@
+// Fixture for the guarded-by annotation check: compliant accesses.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.n = start // constructor: the value is not shared yet
+	return c
+}
+
+func fresh() *counter {
+	c := &counter{n: 1}
+	c.n++ // the function visibly constructs the value
+	return c
+}

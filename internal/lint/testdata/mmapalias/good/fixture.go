@@ -1,0 +1,30 @@
+// Fixture posing as repro/internal/bitvec: a loader package, so keeping
+// mapped-derived slices in struct fields is its job — only writes
+// through them would be violations, and there are none here.
+package fixture
+
+import "repro/internal/persist"
+
+type vec struct {
+	words []uint64
+	raw   []byte
+}
+
+func load(mr *persist.MReader) *vec {
+	v := &vec{}
+	v.words = mr.Words()
+	v.raw = mr.Bytes()
+	return v
+}
+
+func sum(mr *persist.MReader) uint64 {
+	var total uint64
+	for _, w := range mr.Words() {
+		total += w
+	}
+	// A private copy is mutable: the copy's destination is fresh memory.
+	own := make([]byte, 8)
+	copy(own, "payload")
+	own[0] = 1
+	return total
+}

@@ -1,0 +1,15 @@
+// Fixture posing as repro/internal/xpath: a suppression without a
+// justification is itself reported and suppresses nothing.
+package fixture
+
+import "context"
+
+func unjustified(ctx context.Context, xs []int) int {
+	_ = ctx.Err()
+	total := 0
+	/* want `malformed suppression` */ //sxsivet:ignore ctxpoll
+	for _, x := range xs { // want `loop does not poll its context`
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,34 @@
+// Fixture posing as repro/internal/xpath: well-formed suppressions
+// silence the named analyzer (or all of them) on the next line.
+package fixture
+
+import "context"
+
+func suppressed(ctx context.Context, xs []int) int {
+	_ = ctx.Err()
+	total := 0
+	//sxsivet:ignore ctxpoll fixture exercises the suppression path
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func suppressedAll(ctx context.Context, xs []int) int {
+	_ = ctx.Err()
+	total := 0
+	//sxsivet:ignore all fixture exercises the wildcard suppression
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func trailing(ctx context.Context, xs []int) int {
+	_ = ctx.Err()
+	total := 0
+	for _, x := range xs { //sxsivet:ignore ctxpoll trailing-comment form covers its own line
+		total += x
+	}
+	return total
+}

@@ -127,9 +127,25 @@ func (mr *MReader) Int() int {
 // Int32 reads an int32.
 func (mr *MReader) Int32() int32 { return int32(mr.Uint32()) }
 
+// sliceLen reads a length-prefixed element count and bounds it against the
+// bytes remaining in the buffer before the caller slices or allocates: a
+// count only escapes this helper once esize*n payload bytes are known to be
+// present, so a corrupt length field can never size an allocation larger
+// than the section that claims to hold it.
+func (mr *MReader) sliceLen(esize int) (n int, ok bool) {
+	n = mr.Int()
+	if mr.err != nil || !mr.need(esize*n) {
+		return 0, false
+	}
+	return n, true
+}
+
 // Bytes reads a length-prefixed byte slice aliasing the buffer.
 func (mr *MReader) Bytes() []byte {
-	n := mr.Int()
+	n, ok := mr.sliceLen(1)
+	if !ok {
+		return nil
+	}
 	return mr.Raw(n)
 }
 
@@ -156,8 +172,8 @@ func (mr *MReader) Words() []uint64 {
 	if mr.aligned {
 		mr.align8()
 	}
-	n := mr.Int()
-	if mr.err != nil || !mr.need(8*n) {
+	n, ok := mr.sliceLen(8)
+	if !ok {
 		return nil
 	}
 	if n == 0 {
@@ -181,8 +197,8 @@ func (mr *MReader) Int32s() []int32 {
 	if mr.aligned {
 		mr.align8()
 	}
-	n := mr.Int()
-	if mr.err != nil || !mr.need(4*n) {
+	n, ok := mr.sliceLen(4)
+	if !ok {
 		return nil
 	}
 	if n == 0 {

@@ -58,14 +58,22 @@ func ComputeCtx(ctx context.Context, s []int32, k int) ([]int32, error) {
 		return nil, nil
 	}
 	// Shift values by +1 and append a unique smallest sentinel 0 so that the
-	// core algorithm's precondition (unique minimal last symbol) holds.
+	// core algorithm's precondition (unique minimal last symbol) holds. The
+	// copy is O(n) like everything else here, so it shares the poller.
+	pl := newPoller(ctx)
 	t := make([]int32, n+1)
-	for i, c := range s {
-		t[i] = c + 1
+	for base := 0; base < n; base += pollStride {
+		end := min(base+pollStride, n)
+		for i := base; i < end; i++ {
+			t[i] = s[i] + 1
+		}
+		if err := pl.tick(end - base); err != nil {
+			return nil, err
+		}
 	}
 	t[n] = 0
 	sa := make([]int32, n+1)
-	if err := saisCore(t, sa, int32(k)+1, newPoller(ctx)); err != nil {
+	if err := saisCore(t, sa, int32(k)+1, pl); err != nil {
 		return nil, err
 	}
 	return sa[1:], nil // drop the sentinel suffix, which always sorts first

@@ -144,6 +144,13 @@ func (p *buPlan) forEachCandidate(ctx context.Context, emit func(int) bool) erro
 	set := p.matchedSet()
 	climbed := map[nodeStep]bool{}
 	stopped := false
+	done := ctxDone(ctx)
+	// The ancestor climbs are bounded by tree depth, but depth itself is
+	// document-scale on degenerate inputs (one long element chain), so the
+	// climbs share a poll counter with cancellation surfaced via climbErr —
+	// stopping on a dead ctx must not masquerade as a complete result.
+	var climbErr error
+	climbTicks := 0
 
 	var addCandidatesAbove func(node int, j int)
 	addCandidatesAbove = func(node, j int) {
@@ -171,6 +178,16 @@ func (p *buPlan) forEachCandidate(ctx context.Context, emit func(int) bool) erro
 		}
 		// descendant hop: any proper ancestor can be the previous node
 		for a := d.Parent(node); a != xmltree.Nil && !stopped; a = d.Parent(a) {
+			climbTicks++
+			if done != nil && climbTicks&1023 == 0 {
+				select {
+				case <-done:
+					climbErr = ctx.Err()
+					stopped = true
+					return
+				default:
+				}
+			}
 			if j == 0 {
 				stopped = !emit(a)
 			} else if p.matchesChain(a, j-1) {
@@ -179,7 +196,6 @@ func (p *buPlan) forEachCandidate(ctx context.Context, emit func(int) bool) erro
 		}
 	}
 
-	done := ctxDone(ctx)
 	for i, id := range set {
 		if done != nil && i&63 == 0 {
 			select {
@@ -205,7 +221,7 @@ func (p *buPlan) forEachCandidate(ctx context.Context, emit func(int) bool) erro
 		}
 		addCandidatesAbove(leaf, len(p.downChain)-1)
 		if stopped {
-			return nil
+			return climbErr // nil when emit asked to stop; ctx.Err() when cancelled mid-climb
 		}
 	}
 	return nil

@@ -61,7 +61,7 @@ type Query struct {
 	mayOvercount bool
 
 	statsMu   sync.Mutex
-	lastStats automata.Stats
+	lastStats automata.Stats // guarded by statsMu
 }
 
 // Strategy describes the chosen evaluation plan, in the notation of
