@@ -19,10 +19,12 @@ import (
 	"repro/internal/bench"
 	"repro/internal/bitvec"
 	"repro/internal/bp"
+	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/dom"
 	"repro/internal/gen"
 	"repro/internal/pssm"
+	"repro/internal/search"
 	"repro/internal/wordindex"
 	"repro/internal/xpath"
 )
@@ -646,6 +648,65 @@ func BenchmarkCountStream(b *testing.B) {
 		n, err := q.CountCtx(ctx)
 		if err != nil || n != want {
 			b.Fatalf("count = %d, %v", n, err)
+		}
+	}
+}
+
+// searchBench shares a four-document collection (one per corpus) across the
+// search benchmarks, plus a query term chosen deterministically as the most
+// frequent long-ish token in the XMark text store — the posting tier indexes
+// text content, not markup, so the term must come from the texts, and picking
+// the heaviest one keeps every document a candidate.
+var searchBench struct {
+	once  sync.Once
+	coll  *collection.Collection
+	query string
+}
+
+func setupSearch(b *testing.B) {
+	setup(b)
+	searchBench.once.Do(func() {
+		c := collection.New(collection.Config{})
+		c.Add("xmark", corpora.xmarkIdx)
+		c.Add("medline", corpora.medlineIdx)
+		c.Add("treebank", corpora.tbankIdx)
+		c.Add("bioxml", corpora.bioIdx)
+		freq := map[string]int{}
+		for id := 0; id < corpora.xmarkIdx.Doc.NumTexts(); id++ {
+			for _, tok := range search.Tokenize(corpora.xmarkIdx.Doc.Text(id)) {
+				if len(tok) >= 4 {
+					freq[tok]++
+				}
+			}
+		}
+		for tok, n := range freq {
+			if best := freq[searchBench.query]; n > best || (n == best && tok < searchBench.query) || searchBench.query == "" {
+				searchBench.query = tok
+			}
+		}
+		searchBench.coll = c
+	})
+	if searchBench.query == "" {
+		b.Fatal("no query term derived from the XMark text store")
+	}
+}
+
+// BenchmarkSearchTopK measures the full collection-scale ranked search path
+// on the shared corpora: snapshot, candidate intersection, BM25 scoring and
+// snippet extraction for the top 10 (no XPath filter, so the posting tier
+// dominates). Pinned in CI: this is the paper-facing latency of "which
+// documents talk about X".
+func BenchmarkSearchTopK(b *testing.B) {
+	setupSearch(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := searchBench.coll.Search(ctx, searchBench.query, "", 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Matched == 0 {
+			b.Fatalf("query %q matched nothing", searchBench.query)
 		}
 	}
 }

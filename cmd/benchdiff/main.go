@@ -14,6 +14,14 @@
 // benchstat, no statistics beyond the median are attempted — the gate is
 // deliberately loose (default +30%) so shared-runner noise does not flap,
 // and benchstat can still be run on the same files for human consumption.
+//
+// With -snapshot, benchdiff instead canonicalizes a single run into the
+// benchmark-trajectory JSON that CI commits on every push to main (the
+// BENCH_<run>.json files at the repo root): per benchmark the median ns/op
+// and the run count, sorted by name, plus whatever -commit identifier the
+// caller passes. Nothing gates in snapshot mode.
+//
+//	benchdiff -snapshot run.txt -pinned "$PINNED" -commit "$SHA" -json BENCH_main.json
 package main
 
 import (
@@ -44,20 +52,60 @@ type report struct {
 	Results   []result `json:"results"`
 }
 
+// snapshotResult is one benchmark's entry in the trajectory JSON.
+type snapshotResult struct {
+	Name   string  `json:"name"`
+	NsOp   float64 `json:"ns_op"`
+	Runs   int     `json:"runs"`
+	Pinned bool    `json:"pinned"`
+}
+
+// snapshotReport is the canonical trajectory file CI commits on pushes to
+// main: one point of the benchmark time series.
+type snapshotReport struct {
+	Commit  string           `json:"commit,omitempty"`
+	Pinned  string           `json:"pinned"`
+	Results []snapshotResult `json:"results"`
+}
+
 func main() {
 	oldPath := flag.String("old", "", "benchmark output of the baseline (merge-base)")
 	newPath := flag.String("new", "", "benchmark output of the candidate (PR)")
+	snapPath := flag.String("snapshot", "", "canonicalize this single benchmark output instead of comparing (trajectory mode)")
 	pinned := flag.String("pinned", ".*", "regexp of benchmark names that gate the run")
 	threshold := flag.Float64("threshold", 1.30, "maximum allowed new/old ns-per-op ratio for pinned benchmarks")
+	commit := flag.String("commit", "", "commit identifier embedded in -snapshot output")
 	jsonOut := flag.String("json", "", "write the full comparison as JSON to this file")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
-		os.Exit(2)
-	}
 	re, err := regexp.Compile(*pinned)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff: bad -pinned:", err)
+		os.Exit(2)
+	}
+	if *snapPath != "" {
+		runs, err := parseFile(*snapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		rep := snapshot(runs, re, *commit)
+		if len(rep.Results) == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in", *snapPath)
+			os.Exit(2)
+		}
+		for _, r := range rep.Results {
+			fmt.Printf("%-50s ns/op=%12.1f runs=%d pinned=%v\n", r.Name, r.NsOp, r.Runs, r.Pinned)
+		}
+		if *jsonOut != "" {
+			if err := writeJSON(*jsonOut, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff: write json:", err)
+				os.Exit(2)
+			}
+		}
+		return
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required (or -snapshot)")
 		os.Exit(2)
 	}
 	oldRuns, err := parseFile(*oldPath)
@@ -88,11 +136,7 @@ func main() {
 			r.Name, r.OldNsOp, r.NewNsOp, r.Ratio, r.Pinned, status)
 	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := writeJSON(*jsonOut, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff: write json:", err)
 			os.Exit(2)
 		}
@@ -101,6 +145,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: pinned benchmarks regressed beyond %.0f%%\n", (*threshold-1)*100)
 		os.Exit(1)
 	}
+}
+
+// snapshot canonicalizes one run set into the trajectory report: median
+// ns/op per benchmark, sorted by name for stable diffs.
+func snapshot(runs map[string][]float64, pinned *regexp.Regexp, commit string) snapshotReport {
+	rep := snapshotReport{Commit: commit, Pinned: pinned.String()}
+	names := make([]string, 0, len(runs))
+	for n := range runs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		rep.Results = append(rep.Results, snapshotResult{
+			Name:   n,
+			NsOp:   median(runs[n]),
+			Runs:   len(runs[n]),
+			Pinned: pinned.MatchString(n),
+		})
+	}
+	return rep
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // compare builds the report: per benchmark, median old vs median new.

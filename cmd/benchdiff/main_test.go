@@ -60,3 +60,39 @@ func TestCompareGating(t *testing.T) {
 		t.Fatalf("median wrong: %+v", got["BenchmarkLoad"])
 	}
 }
+
+func TestSnapshot(t *testing.T) {
+	runs := map[string][]float64{
+		"BenchmarkSearchTopK": {300, 100, 200}, // median 200
+		"BenchmarkLoad":       {50, 60},        // even count: mean of middle two
+		"BenchmarkUnpinned":   {7},
+	}
+	re := regexp.MustCompile(`^BenchmarkLoad$|^BenchmarkSearchTopK$`)
+	rep := snapshot(runs, re, "abc123")
+	if rep.Commit != "abc123" || rep.Pinned != re.String() {
+		t.Fatalf("header: %+v", rep)
+	}
+	// Sorted by name for stable diffs across runs.
+	wantOrder := []string{"BenchmarkLoad", "BenchmarkSearchTopK", "BenchmarkUnpinned"}
+	if len(rep.Results) != len(wantOrder) {
+		t.Fatalf("results: %+v", rep.Results)
+	}
+	for i, r := range rep.Results {
+		if r.Name != wantOrder[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, r.Name, wantOrder[i])
+		}
+	}
+	got := map[string]snapshotResult{}
+	for _, r := range rep.Results {
+		got[r.Name] = r
+	}
+	if r := got["BenchmarkSearchTopK"]; r.NsOp != 200 || r.Runs != 3 || !r.Pinned {
+		t.Fatalf("SearchTopK: %+v", r)
+	}
+	if r := got["BenchmarkLoad"]; r.NsOp != 55 || r.Runs != 2 || !r.Pinned {
+		t.Fatalf("Load: %+v", r)
+	}
+	if got["BenchmarkUnpinned"].Pinned {
+		t.Fatal("unpinned benchmark marked pinned")
+	}
+}

@@ -6,6 +6,7 @@
 //	sxsi query -i doc.sxsi '//listitem//keyword' load the index, serialize results
 //	sxsi count -i doc.sxsi '//keyword'           load the index, print the count
 //	sxsi stats -i doc.sxsi                       index statistics
+//	sxsi search -dir ./docs 'ocean "coral reef"' BM25-ranked full-text search
 //	sxsi serve -dir ./indexes -addr :8080        serve a directory over HTTP
 //
 // Query and count accept either a saved index (memory-mapped by default,
@@ -25,6 +26,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -59,11 +61,20 @@ func main() {
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address for 'serve' (empty = off)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrent evaluations for 'serve' (0 = unlimited)")
 	maxQueue := fs.Int("max-queue", 0, "max queued requests before 429 for 'serve'")
+	xpathFilter := fs.String("xpath", "", "restrict 'search' hits to documents matching this XPath")
+	topK := fs.Int("k", 0, "number of ranked hits for 'search' (0 = default 10)")
+	saveIndex := fs.String("save-index", "", "after 'search', save the posting index to this file")
 	fs.StringVar(in, "in", "", "alias of -i")
 	fs.StringVar(out, "out", "", "alias of -o")
 	fs.Parse(os.Args[2:])
 	if *q == "" && fs.NArg() > 0 {
-		*q = fs.Arg(0)
+		if cmd == "search" {
+			// Search terms may be given as separate words: join them back
+			// into one query (`sxsi search -dir . dark horse`).
+			*q = strings.Join(fs.Args(), " ")
+		} else {
+			*q = fs.Arg(0)
+		}
 	}
 
 	cfg := core.Config{SampleRate: *sample, RunLength: *rl, NoMmap: *noMmap, BuildProcs: *procs}
@@ -79,6 +90,17 @@ func main() {
 		fatal(err.Error())
 	}
 	cfg.Query.ForceStrategy = st
+	if cmd == "search" {
+		if *dir == "" {
+			fatal("missing -dir document directory")
+		}
+		if *q == "" {
+			fatal("missing search terms")
+		}
+		runSearch(*dir, *q, *xpathFilter, *topK, *saveIndex,
+			collection.Config{Workers: *workers, CacheSize: *cacheSize, RequestTimeout: *timeout, Index: cfg})
+		return
+	}
 	if cmd == "serve" {
 		if *dir == "" {
 			fatal("missing -dir document directory")
@@ -153,6 +175,57 @@ func main() {
 	}
 }
 
+// runSearch loads every document under dir into a collection and prints
+// the BM25-ranked hits of the term query, one per line:
+//
+//	RANK. NAME  SCORE  [nodes=N]  SNIPPET
+//
+// An -xpath filter keeps only documents where the expression selects at
+// least one node (N in the output); -save-index persists the posting index
+// built along the way, which `sxsi serve` rebuilds on startup anyway but
+// other tools can mmap.
+func runSearch(dir, terms, xpathFilter string, k int, saveIndex string, ccfg collection.Config) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := collection.New(ccfg)
+	names, err := c.LoadDir(ctx, dir)
+	check(err)
+	if len(names) == 0 {
+		fatal("no .xml or .sxsi documents under " + dir)
+	}
+	rep, err := c.Search(ctx, terms, xpathFilter, k)
+	check(err)
+	fmt.Printf("%d candidates, %d matched\n", rep.Candidates, rep.Matched)
+	for i, h := range rep.Hits {
+		fmt.Printf("%2d. %-20s %8.4f", i+1, h.Doc, h.Score)
+		if xpathFilter != "" {
+			fmt.Printf("  nodes=%d", h.Nodes)
+		}
+		if h.Snippet != "" {
+			fmt.Printf("  %s", h.Snippet)
+		}
+		fmt.Println()
+	}
+	for _, name := range sortedKeys(rep.Failed) {
+		fmt.Fprintf(os.Stderr, "sxsi: %s: %s\n", name, rep.Failed[name])
+	}
+	if saveIndex != "" {
+		n, err := c.SaveSearchIndex(saveIndex)
+		check(err)
+		fmt.Printf("wrote %d index bytes to %s\n", n, saveIndex)
+	}
+}
+
+// sortedKeys returns the keys of m, sorted.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // open loads a saved index (memory-mapped unless -no-mmap) or builds one
 // from raw XML, sniffing the magic.
 func open(path string, cfg core.Config) *core.Engine {
@@ -208,6 +281,7 @@ commands:
   query  -i doc.sxsi 'XPATH'        evaluate and serialize result subtrees
   count  -i doc.sxsi 'XPATH'        evaluate in counting mode
   stats  -i doc.sxsi                print index statistics
+  search -dir DIR 'TERMS'           BM25-ranked full-text search over a directory
   serve  -dir DIR [-addr :8080]     serve a directory of documents over HTTP
 
 flags: -sample N (FM sampling rate), -rl (run-length text index),
@@ -219,7 +293,8 @@ flags: -sample N (FM sampling rate), -rl (run-length text index),
        -timeout D (serve per-request evaluation deadline, e.g. 30s),
        -watch D (serve: poll files and hot-swap changed indexes),
        -debug-addr A (serve: net/http/pprof listener),
-       -max-concurrent N / -max-queue N (serve: admission control, 429 when full)`)
+       -max-concurrent N / -max-queue N (serve: admission control, 429 when full),
+       -xpath EXPR / -k N / -save-index F (search: structural filter, top-k, persist)`)
 	os.Exit(2)
 }
 

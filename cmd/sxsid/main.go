@@ -13,6 +13,7 @@
 //	GET  /count?doc=D&q=//a//b        counting mode (doc=* fans out)
 //	GET  /query?doc=D&q=//a//b        serialized results (CLI byte-identical)
 //	POST /query                       JSON batch over the worker pool
+//	GET  /search?q=terms              BM25-ranked full-text search (top-k)
 //	POST /reload                      hot-swap changed index files
 //	GET  /stats[?doc=D]               serving counters / per-index statistics
 //	GET  /metrics                     Prometheus text-format metrics

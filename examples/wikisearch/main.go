@@ -1,15 +1,20 @@
 // Wikisearch: the paper's Section 6.6.2 scenario — natural-language search
-// over wiki pages through the pluggable word-based text index: phrase
-// queries match at word boundaries via a word-level suffix array, plugged
-// into XPath as the custom predicate wcontains.
+// over wiki pages, two ways. First through the pluggable word-based text
+// index: phrase queries match at word boundaries via a word-level suffix
+// array, plugged into XPath as the custom predicate wcontains. Then
+// through the collection search tier: several wiki documents registered in
+// a collection, queried with BM25-ranked terms plus a structural XPath
+// filter — the production path behind `sxsi search` and GET /search.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"repro"
+	"repro/internal/collection"
 	"repro/internal/gen"
 	"repro/internal/wordindex"
 )
@@ -56,4 +61,36 @@ func main() {
 	a, _ := eng.Count(`//text[wcontains(., "horse")]`)
 	b, _ := idx.Count(`//text[contains(., "horse")]`)
 	fmt.Printf("word match 'horse': %d pages; substring match: %d pages\n", a, b)
+
+	// Part two: the collection search tier. Register several wiki dumps as
+	// separate documents; the collection tokenizes each into the posting
+	// index as it registers, and Search answers "which documents talk about
+	// these terms" with BM25 ranking before any structural work runs.
+	fmt.Println("\ncollection search tier:")
+	c := collection.New(collection.Config{})
+	start = time.Now()
+	for seed := uint64(1); seed <= 6; seed++ {
+		doc, err := sxsi.Build(gen.Wiki(seed, 2<<20), sxsi.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Add(fmt.Sprintf("wiki-%02d", seed), doc.Engine)
+	}
+	fmt.Printf("indexed %d documents in %v\n", c.Len(), time.Since(start).Round(time.Millisecond))
+
+	for _, q := range []string{
+		`dark horse`,
+		`"crude oil" board`,
+	} {
+		start := time.Now()
+		rep, err := c.Search(context.Background(), q, `//page/title`, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search %-22q %d candidates, %d matched in %v\n",
+			q, rep.Candidates, rep.Matched, time.Since(start).Round(time.Microsecond))
+		for i, h := range rep.Hits {
+			fmt.Printf("  %d. %s  score=%.3f  titles=%d  %s\n", i+1, h.Doc, h.Score, h.Nodes, h.Snippet)
+		}
+	}
 }

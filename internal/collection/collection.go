@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/search"
 	"repro/internal/xpath"
 )
 
@@ -55,6 +56,10 @@ type Config struct {
 	// context.DeadlineExceeded instead of occupying a worker forever. Zero
 	// means no per-request deadline.
 	RequestTimeout time.Duration
+	// DisableSearch turns off the collection search tier: no posting
+	// index is maintained as documents register (saving the tokenization
+	// pass per open) and Search fails with ErrSearchDisabled.
+	DisableSearch bool
 	// Index configures document building and loading.
 	Index core.Config
 }
@@ -78,6 +83,11 @@ type Collection struct {
 	cacheMu sync.Mutex
 	cache   *lru // guarded by cacheMu; nil when caching is disabled
 
+	// search is the collection-scale posting index (nil when
+	// Config.DisableSearch is set); it has its own internal lock and is
+	// kept in sync by add/Remove.
+	search *search.Index
+
 	met metrics
 }
 
@@ -99,6 +109,9 @@ func New(cfg Config) *Collection {
 	if size > 0 {
 		c.cache = newLRU(size)
 	}
+	if !cfg.DisableSearch {
+		c.search = search.NewIndex()
+	}
 	return c
 }
 
@@ -112,6 +125,13 @@ func (c *Collection) Add(name string, eng *core.Engine) {
 }
 
 func (c *Collection) add(name string, eng *core.Engine, src *docSource) {
+	// Build the postings before touching any lock: tokenizing a large
+	// document is the expensive part, and Engine.Postings caches it on
+	// the engine, so re-registering is free.
+	var dp *search.DocPostings
+	if c.search != nil {
+		dp = eng.Postings()
+	}
 	c.mu.Lock()
 	c.docs[name] = eng
 	if src != nil {
@@ -121,6 +141,11 @@ func (c *Collection) add(name string, eng *core.Engine, src *docSource) {
 	}
 	c.mu.Unlock()
 	c.dropCached(name)
+	if dp != nil {
+		// After the registry flip: a search that snapshots between the two
+		// still scores self-consistent (postings carry their own document).
+		c.search.Add(name, dp)
+	}
 }
 
 // Remove unregisters a document and drops its cached compiled queries; it
@@ -132,6 +157,9 @@ func (c *Collection) Remove(name string) bool {
 	delete(c.sources, name)
 	c.mu.Unlock()
 	c.dropCached(name)
+	if c.search != nil {
+		c.search.Remove(name)
+	}
 	return ok
 }
 
@@ -665,6 +693,8 @@ type Stats struct {
 	Errors      int64 `json:"errors"`
 	Canceled    int64 `json:"canceled"`
 	Reloads     int64 `json:"reloads"`
+	Searches    int64 `json:"searches"`
+	SearchErrs  int64 `json:"search_errors"`
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheLen    int   `json:"cache_len"`
@@ -677,6 +707,8 @@ func (c *Collection) Stats() Stats {
 		Errors:      c.met.errors.Load(),
 		Canceled:    c.met.canceled.Load(),
 		Reloads:     c.met.reloads.Load(),
+		Searches:    c.met.searches.Load(),
+		SearchErrs:  c.met.searchErrs.Load(),
 		CacheHits:   c.met.cacheHits.Load(),
 		CacheMisses: c.met.cacheMiss.Load(),
 	}

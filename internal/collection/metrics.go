@@ -82,13 +82,16 @@ var latencyModeLabels = [numLatencyModes]string{
 // metrics is the instrumented counter set of a Collection. All methods are
 // safe for concurrent use.
 type metrics struct {
-	queries   atomic.Int64
-	errors    atomic.Int64
-	canceled  atomic.Int64
-	cacheHits atomic.Int64
-	cacheMiss atomic.Int64
-	reloads   atomic.Int64
-	latency   [numLatencyModes]histogram
+	queries    atomic.Int64
+	errors     atomic.Int64
+	canceled   atomic.Int64
+	cacheHits  atomic.Int64
+	cacheMiss  atomic.Int64
+	reloads    atomic.Int64
+	searches   atomic.Int64
+	searchErrs atomic.Int64
+	latency    [numLatencyModes]histogram
+	searchLat  histogram
 }
 
 // done records the completion of one evaluation: its latency under the
@@ -110,6 +113,21 @@ func (m *metrics) done(mode int, d time.Duration, err error) {
 	}
 }
 
+// searchDone records the completion of one Search with the same
+// error-vs-cancellation split as done; search failures land in their own
+// counter, not the query error counter, because a search is a composite
+// (its per-document XPath evaluations already account themselves).
+func (m *metrics) searchDone(d time.Duration, err error) {
+	m.searchLat.observe(d)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		m.canceled.Add(1)
+	default:
+		m.searchErrs.Add(1)
+	}
+}
+
 // Metrics is a point-in-time snapshot of the collection's instrumentation:
 // the Stats counters plus the per-mode latency histograms, keyed by mode
 // label ("count", "nodes", "serialize", "exists" and "stream" for streamed
@@ -117,6 +135,10 @@ func (m *metrics) done(mode int, d time.Duration, err error) {
 type Metrics struct {
 	Stats
 	Latency map[string]HistogramSnapshot
+	// SearchLatency is the end-to-end Search latency histogram (same
+	// buckets), separate from the per-mode map because a search spans many
+	// per-document evaluations.
+	SearchLatency HistogramSnapshot
 }
 
 // Metrics returns a snapshot of every serving counter and latency
@@ -126,5 +148,6 @@ func (c *Collection) Metrics() Metrics {
 	for i := range c.met.latency {
 		m.Latency[latencyModeLabels[i]] = c.met.latency[i].snapshot()
 	}
+	m.SearchLatency = c.met.searchLat.snapshot()
 	return m
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 
 	"repro/internal/automata"
 	"repro/internal/build"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/mmap"
 	"repro/internal/persist"
 	"repro/internal/rlfm"
+	"repro/internal/search"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -50,6 +52,12 @@ type Engine struct {
 	// backing keeps the mapped index file alive for mapped engines; nil
 	// for built or copy-loaded engines.
 	backing *mmap.File
+
+	// postings caches the word-level postings of Postings(), built on
+	// first use. Clones (WithEval/WithQueryOptions) start with a fresh
+	// cache; they share the immutable Doc, so a rebuild is identical.
+	postOnce sync.Once
+	postings *search.DocPostings
 }
 
 // Config controls indexing and evaluation.
@@ -303,6 +311,17 @@ func (e *Engine) Close() error {
 func IsIndexData(data []byte) bool {
 	return len(data) >= len(xmltree.IndexMagic) &&
 		string(data[:len(xmltree.IndexMagic)]) == xmltree.IndexMagic
+}
+
+// Postings returns the engine's word-level postings — per-token term
+// frequencies and the total token count over the document's texts, the
+// per-document slice of the collection search tier (package search). It
+// is built lazily on first use, cached for the engine's lifetime, and
+// safe for concurrent use; the returned value is immutable and carries
+// the engine's document for phrase counting and snippet extraction.
+func (e *Engine) Postings() *search.DocPostings {
+	e.postOnce.Do(func() { e.postings = search.BuildDoc(e.Doc) })
+	return e.postings
 }
 
 // Compile compiles a Core+ XPath query against the document.

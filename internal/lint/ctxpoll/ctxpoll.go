@@ -33,6 +33,7 @@ var Analyzer = &analysis.Analyzer{
 		"repro/internal/fmindex",
 		"repro/internal/build",
 		"repro/internal/xmlparse",
+		"repro/internal/search",
 	),
 	Run: run,
 }

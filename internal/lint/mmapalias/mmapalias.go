@@ -43,6 +43,7 @@ var loaderOK = []string{
 	"internal/persist", "internal/mmap", "internal/bitvec", "internal/bp",
 	"internal/wavelet", "internal/fmindex", "internal/wordindex", "internal/tags",
 	"internal/xmltree", "internal/rlfm", "internal/pssm", "internal/core",
+	"internal/search",
 }
 
 func pathIn(path string, list []string) bool {

@@ -1,0 +1,81 @@
+package search
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSearchQuery pins the query-parsing contract on arbitrary input:
+// ParseQuery either errors or yields 1..MaxQueryTerms terms whose word
+// texts are folded, capped tokens, and whose rendered form re-parses to
+// the same terms (so reports echoing rep.Terms are faithful). Run with
+// `go test -fuzz FuzzSearchQuery ./internal/search`; a plain `go test`
+// executes the seed corpus as regression cases.
+func FuzzSearchQuery(f *testing.F) {
+	for _, s := range []string{
+		"gold",
+		"Gold Rush",
+		`ocean "coral reef" deep`,
+		`"crude oil" market`,
+		`"Gold"`,
+		`"" gold`,
+		`a"b c"d`,
+		"",
+		"   \t\n ",
+		`"unterminated`,
+		`""`,
+		`"""`,
+		"foo-bar_baz x86",
+		"naïve café",                          // unicode word bytes
+		"\xff\xfe\x80",                        // invalid UTF-8 is still bytes
+		strings.Repeat("a", 10000),            // giant token
+		strings.Repeat("a ", 100),             // too many terms
+		`"` + strings.Repeat("b ", 100) + `"`, // giant phrase
+		"日本語 テスト",
+		"a\x00b",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		terms, err := ParseQuery(q)
+		if err != nil {
+			return
+		}
+		if len(terms) == 0 || len(terms) > MaxQueryTerms {
+			t.Fatalf("ParseQuery(%q): %d terms", q, len(terms))
+		}
+		for _, tm := range terms {
+			if tm.Text == "" {
+				t.Fatalf("ParseQuery(%q): empty term", q)
+			}
+			if !tm.Phrase {
+				if len(tm.Text) > MaxTokenBytes {
+					t.Fatalf("ParseQuery(%q): word term %d bytes", q, len(tm.Text))
+				}
+				if toks := Tokenize([]byte(tm.Text)); len(toks) != 1 || toks[0] != tm.Text {
+					t.Fatalf("ParseQuery(%q): word term %q not a canonical token", q, tm.Text)
+				}
+			} else if strings.ContainsRune(tm.Text, '"') {
+				t.Fatalf("ParseQuery(%q): phrase %q contains a quote", q, tm.Text)
+			}
+		}
+		// Round-trip: rendering the terms and re-parsing them must be a
+		// fixed point.
+		parts := make([]string, len(terms))
+		for i, tm := range terms {
+			parts[i] = tm.String()
+		}
+		again, err := ParseQuery(strings.Join(parts, " "))
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", strings.Join(parts, " "), err)
+		}
+		if len(again) != len(terms) {
+			t.Fatalf("re-parse of %q: %d terms, want %d", strings.Join(parts, " "), len(again), len(terms))
+		}
+		for i := range terms {
+			if again[i] != terms[i] {
+				t.Fatalf("re-parse term %d: %+v, want %+v", i, again[i], terms[i])
+			}
+		}
+	})
+}

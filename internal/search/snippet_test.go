@@ -1,0 +1,88 @@
+package search_test
+
+// External test package: these tests exercise the postings/snippet path
+// through a real engine (core imports search, so the integration can only
+// live outside package search).
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/search"
+)
+
+func buildEngine(t *testing.T, xml string) *core.Engine {
+	t.Helper()
+	eng, err := core.Build([]byte(xml), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestEnginePostings(t *testing.T) {
+	eng := buildEngine(t, `<doc><p>Gold rush</p><p>gold mine, Gold!</p></doc>`)
+	dp := eng.Postings()
+	if dp.Doc() != eng.Doc {
+		t.Fatal("postings not attached to the engine's document")
+	}
+	if got := dp.TF("gold"); got != 3 {
+		t.Fatalf("TF(gold) = %d", got)
+	}
+	if got := dp.TF("mine"); got != 1 {
+		t.Fatalf("TF(mine) = %d", got)
+	}
+	if dp.Tokens() != 5 {
+		t.Fatalf("Tokens = %d", dp.Tokens())
+	}
+	// Postings are built once and cached on the engine.
+	if eng.Postings() != dp {
+		t.Fatal("Postings rebuilt")
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	eng := buildEngine(t, `<doc><p>nothing here</p><p>the famous gold rush of 1849 changed everything</p></doc>`)
+	terms, err := search.ParseQuery("gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snip, err := search.Snippet(context.Background(), eng.Postings(), terms, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(snip, "gold rush") {
+		t.Fatalf("snippet %q does not show the match", snip)
+	}
+	if len(snip) > 40+2*len("…") {
+		t.Fatalf("snippet too wide: %d bytes", len(snip))
+	}
+}
+
+func TestSnippetCaseFoldedFallback(t *testing.T) {
+	// The FM-index matches raw bytes; the folded query token "gold" only
+	// appears capitalized, so the bounded folding scan must find it.
+	eng := buildEngine(t, `<doc><p>The Gold Rush</p></doc>`)
+	terms, _ := search.ParseQuery("gold")
+	snip, err := search.Snippet(context.Background(), eng.Postings(), terms, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(snip, "Gold Rush") {
+		t.Fatalf("snippet = %q", snip)
+	}
+}
+
+func TestSnippetNoMatch(t *testing.T) {
+	eng := buildEngine(t, `<doc><p>nothing relevant</p></doc>`)
+	terms, _ := search.ParseQuery("absent")
+	snip, err := search.Snippet(context.Background(), eng.Postings(), terms, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snip != "" {
+		t.Fatalf("snippet = %q, want empty", snip)
+	}
+}

@@ -35,6 +35,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("sxsi_query_errors_total", "Evaluations that failed server-side (bad queries, unknown docs, evaluation failures, deadline expiry).", m.Errors)
 	counter("sxsi_query_canceled_total", "Evaluations abandoned by the client (context canceled); kept out of the error counter.", m.Canceled)
 	counter("sxsi_reloads_total", "Reload passes over the file-backed documents.", m.Reloads)
+	counter("sxsi_search_total", "Ranked full-text searches started (GET /search and Collection.Search).", m.Searches)
+	counter("sxsi_search_errors_total", "Searches that failed server-side (bad queries, deadline expiry, internal errors).", m.SearchErrs)
 
 	counter("sxsi_cache_hits_total", "Compiled-query cache hits.", m.CacheHits)
 	counter("sxsi_cache_misses_total", "Compiled-query cache misses.", m.CacheMisses)
@@ -51,6 +53,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("sxsi_index_heap_bytes", "Index bytes held on the Go heap (private).", float64(m.HeapBytes))
 
 	writeLatencyHistogram(&b, m.Latency)
+	writeSearchHistogram(&b, m.SearchLatency)
 
 	if s.adm != nil {
 		gauge("sxsi_admission_in_flight", "Query-evaluating requests currently holding an admission slot.", float64(s.adm.inFlight()))
@@ -82,6 +85,20 @@ func writeLatencyHistogram(b *bytes.Buffer, lat map[string]collection.HistogramS
 		fmt.Fprintf(b, "%s_sum{mode=%q} %s\n", name, mode, fmtFloat(h.SumSeconds))
 		fmt.Fprintf(b, "%s_count{mode=%q} %d\n", name, mode, h.Count)
 	}
+}
+
+// writeSearchHistogram renders the end-to-end Search latency (a search
+// spans many per-document evaluations, so it gets its own family instead
+// of a mode label in the per-evaluation histogram).
+func writeSearchHistogram(b *bytes.Buffer, h collection.HistogramSnapshot) {
+	const name = "sxsi_search_duration_seconds"
+	fmt.Fprintf(b, "# HELP %s End-to-end ranked search latency (GET /search).\n# TYPE %s histogram\n", name, name)
+	for i, bound := range collection.LatencyBuckets {
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, fmtFloat(bound), h.Counts[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(b, "%s_sum %s\n", name, fmtFloat(h.SumSeconds))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
 }
 
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

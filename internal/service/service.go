@@ -9,6 +9,7 @@
 //	GET  /exists?doc=D&q=Q  {"doc":D,"query":Q,"exists":B} (lazy, first hit)
 //	GET  /query?doc=D&q=Q   serialized result subtrees (CLI byte-identical)
 //	POST /query             {"requests":[{doc,query,mode}]} batch evaluation
+//	GET  /search?q=TERMS    BM25-ranked top-k documents (see handleSearch)
 //	POST /reload            re-open changed index files (zero-downtime swap)
 //	GET  /stats?doc=D       index statistics; without doc, serving counters
 //	GET  /metrics           Prometheus text-format serving metrics
@@ -77,6 +78,7 @@ func NewWithConfig(c *collection.Collection, cfg Config) *Server {
 	s.mux.HandleFunc("GET /exists", s.handleExists)
 	s.mux.HandleFunc("GET /query", s.handleQueryGet)
 	s.mux.HandleFunc("POST /query", s.handleQueryPost)
+	s.mux.HandleFunc("GET /search", s.handleSearch)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -114,6 +116,9 @@ const statusClientClosedRequest = 499
 func statusFor(err error) int {
 	if errors.Is(err, collection.ErrUnknownDoc) {
 		return http.StatusNotFound
+	}
+	if errors.Is(err, collection.ErrSearchDisabled) {
+		return http.StatusNotImplemented
 	}
 	var qerr *collection.QueryError
 	if errors.As(err, &qerr) {

@@ -27,26 +27,45 @@ type Index struct {
 	d      int
 }
 
-// Tokenize splits text into words: maximal runs of letters and digits.
-// Everything else is a separator.
-func Tokenize(text []byte) []string {
-	var words []string
+// IsWordByte reports whether c belongs to a word: ASCII letters and
+// digits, plus every byte ≥ 0x80 so multi-byte UTF-8 sequences stay
+// inside one word. This single definition is shared by the word-level
+// suffix array here and by the collection search tier (package search),
+// so the two always agree on word boundaries.
+func IsWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c >= 0x80
+}
+
+// ScanWords calls fn with the byte range [start, end) of each word in
+// text — maximal runs of word bytes (IsWordByte); everything else is a
+// separator. It is the allocation-free scanner under Tokenize, exported
+// so other tokenizers (the search tier's case-folding one) can share the
+// boundary rules without sharing the token representation.
+func ScanWords(text []byte, fn func(start, end int)) {
 	start := -1
 	for i := 0; i <= len(text); i++ {
 		var c byte
 		if i < len(text) {
 			c = text[i]
 		}
-		isWord := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c >= 0x80
-		if isWord {
+		if IsWordByte(c) {
 			if start < 0 {
 				start = i
 			}
 		} else if start >= 0 {
-			words = append(words, string(text[start:i]))
+			fn(start, i)
 			start = -1
 		}
 	}
+}
+
+// Tokenize splits text into words: maximal runs of letters and digits.
+// Everything else is a separator.
+func Tokenize(text []byte) []string {
+	var words []string
+	ScanWords(text, func(start, end int) {
+		words = append(words, string(text[start:end]))
+	})
 	return words
 }
 
